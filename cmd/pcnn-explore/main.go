@@ -1,0 +1,78 @@
+// Command pcnn-explore runs the parrot design-space exploration the
+// paper lists as future work: accuracy versus TrueNorth power across
+// hidden-layer widths and input spike precisions, with the Pareto
+// frontier highlighted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/explore"
+)
+
+func main() {
+	widths := flag.String("widths", "64,128,256", "comma-separated hidden widths")
+	windows := flag.String("windows", "32,8,1", "comma-separated spike windows")
+	samples := flag.Int("samples", 3000, "training samples per design")
+	epochs := flag.Int("epochs", 40, "training epochs per design")
+	flag.Parse()
+
+	sp := explore.DefaultSpace()
+	sp.Samples = *samples
+	sp.Epochs = *epochs
+	var err error
+	if sp.Widths, err = parseInts(*widths); err != nil {
+		fail(err)
+	}
+	if sp.Windows, err = parseInts(*windows); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("exploring %d x %d parrot designs...\n", len(sp.Widths), len(sp.Windows))
+	designs, err := explore.Sweep(sp)
+	if err != nil {
+		fail(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "hidden\tspikes\taccuracy\tcores\tfull-HD W\tpareto")
+	for _, d := range designs {
+		mark := ""
+		if d.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.3f\t%d\t%.3f\t%s\n",
+			d.Hidden, d.SpikeWindow, d.Accuracy, d.Cores, d.Watts, mark)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("\nPareto frontier (ascending power):")
+	for _, d := range explore.Frontier(designs) {
+		fmt.Printf("  hidden %d @ %d-spike: %.3f accuracy at %.3f W\n",
+			d.Hidden, d.SpikeWindow, d.Accuracy, d.Watts)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command pcnn-power prints the Table 2 power analysis and the sizing
+// math behind it, optionally with this implementation's measured
+// corelet sizes instead of the paper's module constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/napprox"
+	"repro/internal/power"
+)
+
+func main() {
+	mine := flag.Bool("measured", false, "size modules from this implementation's corelets instead of the paper's constants")
+	flag.Parse()
+
+	napproxCores := power.NApproxCoresPerModule
+	parrotCores := power.ParrotCoresPerCell
+	if *mine {
+		mod, err := napprox.BuildCellModule(napprox.TrueNorthConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		napproxCores = mod.Cores()
+		fmt.Printf("measured NApprox corelet: %d cores (paper: %d)\n\n",
+			napproxCores, power.NApproxCoresPerModule)
+	}
+
+	cells := power.FullHDCellsPerFrame()
+	fmt.Printf("full-HD pyramid: %d cells/frame, %.3g cells/s at %.0f fps\n\n",
+		cells, float64(cells)*power.FullHDFrameRate, power.FullHDFrameRate)
+
+	rows, err := power.Table2With(napproxCores, parrotCores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Approach\tSignal resolution\tPower estimation\tNote")
+	for _, r := range rows {
+		p := fmt.Sprintf("%.2f W", r.Watts)
+		if r.Watts < 1 {
+			p = fmt.Sprintf("%.0f mW", r.Watts*1000)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Approach, r.Resolution, p, r.Note)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	lo, hi, err := power.PowerRatios()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nParrot vs NApprox power advantage: %.1fx (32-spike) to %.0fx (1-spike)\n", lo, hi)
+	fmt.Println("(paper abstract: 6.5x-208x)")
+}

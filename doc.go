@@ -1,0 +1,13 @@
+// Package repro reproduces "Co-training of Feature Extraction and
+// Classification using Partitioned Convolutional Neural Networks"
+// (Tsai et al., DAC 2017) as a Go library: a TrueNorth neurosynaptic
+// simulator, the NApprox/Parrot/Absorbed feature-extraction paradigms,
+// Eedn trinary-weight network training, linear SVMs with hard-negative
+// mining, the sliding-window detection protocol, and the power model
+// behind the paper's Table 2.
+//
+// The public surface lives in internal/core (the partitioned-CNN
+// co-training API) and internal/experiments (per-figure regeneration);
+// see README.md and DESIGN.md. The benchmarks in bench_test.go
+// regenerate every table and figure of the evaluation.
+package repro

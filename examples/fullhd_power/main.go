@@ -1,0 +1,52 @@
+// Full-HD power sizing (Sec. 5.2): walks through the paper's
+// throughput math — pyramid cell counts, per-module throughput at each
+// spike precision, chip counts and power — and prints the resulting
+// Table 2 with the 6.5x-208x headline ratios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/power"
+)
+
+func main() {
+	levels := power.PyramidLevels(1920, 1080, 1.5, 6)
+	fmt.Println("full-HD sliding-window pyramid (cells of 8x8 pixels):")
+	total := 0
+	for i, l := range levels {
+		fmt.Printf("  level %d: %3d x %3d = %6d cells\n", i, l[0], l[1], l[0]*l[1])
+		total += l[0] * l[1]
+	}
+	fmt.Printf("  total: %d cells/frame -> %.3g cells/s @ %.0f fps\n\n",
+		total, float64(total)*power.FullHDFrameRate, power.FullHDFrameRate)
+
+	cellsPerSec := float64(total) * power.FullHDFrameRate
+	fmt.Println("per-design sizing:")
+	for _, d := range []struct {
+		name   string
+		cores  int
+		window int
+	}{
+		{"NApprox (64-spike)", power.NApproxCoresPerModule, 64},
+		{"Parrot (32-spike)", power.ParrotCoresPerCell, 32},
+		{"Parrot (4-spike)", power.ParrotCoresPerCell, 4},
+		{"Parrot (1-spike)", power.ParrotCoresPerCell, 1},
+	} {
+		est, err := power.SizeTrueNorth(d.name, d.cores, d.window, cellsPerSec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s %7.1f cells/s/module  %9.0f modules  %8.0f cores  %6.1f chips  %8.3f W\n",
+			d.name, power.ModuleThroughput(d.window), est.Modules, est.Cores, est.Chips, est.Watts)
+	}
+
+	lo, hi, err := power.PowerRatios()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nParrot power advantage over NApprox: %.1fx to %.0fx (paper: 6.5x-208x)\n", lo, hi)
+	fmt.Printf("FPGA baseline for reference: %.2f W logic, %.2f W system\n",
+		power.FPGALogicWatts, power.FPGASystemWatts)
+}

@@ -1,0 +1,232 @@
+// Package corelet provides a small composition layer over the
+// truenorth package modeled on IBM's Corelet programming paradigm
+// (Amir et al., IJCNN 2013): networks are built as a hierarchy of named
+// corelets, each of which allocates cores, wires synapses and routes,
+// and exposes external pins. The builder tracks which corelet owns
+// each core so that resource usage — the currency of the paper's power
+// analysis — can be reported per subsystem.
+package corelet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/truenorth"
+)
+
+// Builder accumulates a truenorth.Model while tracking a hierarchy of
+// corelet names. Use Begin/End to scope construction to a named
+// corelet; cores allocated in between are attributed to it (and to all
+// of its ancestors).
+type Builder struct {
+	model *truenorth.Model
+	stack []string
+	owner map[int]string // core index -> owning corelet path
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{model: truenorth.NewModel(), owner: map[int]string{}}
+}
+
+// Begin opens a nested corelet scope with the given name.
+func (b *Builder) Begin(name string) {
+	b.stack = append(b.stack, name)
+}
+
+// End closes the innermost corelet scope. It panics if no scope is
+// open, which indicates a construction bug rather than a runtime
+// condition.
+func (b *Builder) End() {
+	if len(b.stack) == 0 {
+		panic("corelet: End without Begin")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// Path returns the current corelet scope path, e.g. "napprox/wta".
+func (b *Builder) Path() string { return strings.Join(b.stack, "/") }
+
+// NewCore allocates a core attributed to the current scope.
+func (b *Builder) NewCore(axons, neurons int) (*truenorth.Core, error) {
+	c, err := b.model.AddCore(axons, neurons)
+	if err != nil {
+		return nil, fmt.Errorf("corelet %q: %w", b.Path(), err)
+	}
+	b.owner[c.ID] = b.Path()
+	return c, nil
+}
+
+// Route wires neuron n of core c to target t.
+func (b *Builder) Route(c, n int, t truenorth.Target) error {
+	return b.model.Route(c, n, t)
+}
+
+// Input adds an external input pin wired to (core, axon) and returns
+// the pin index.
+func (b *Builder) Input(core, axon int) (int, error) {
+	return b.model.AddInput(core, axon)
+}
+
+// Model finalizes and returns the built model after validation.
+func (b *Builder) Model() (*truenorth.Model, error) {
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("corelet: unbalanced Begin/End, still inside %q", b.Path())
+	}
+	if err := b.model.Validate(); err != nil {
+		return nil, err
+	}
+	return b.model, nil
+}
+
+// Usage reports core counts attributed to each corelet path, including
+// aggregate counts for ancestor paths (a core inside "a/b" counts for
+// both "a/b" and "a").
+type Usage map[string]int
+
+// Usage computes the per-corelet core usage of everything built so far.
+func (b *Builder) Usage() Usage {
+	u := Usage{}
+	for _, path := range b.owner {
+		// Attribute to the full path and every ancestor prefix.
+		parts := strings.Split(path, "/")
+		for i := 1; i <= len(parts); i++ {
+			u[strings.Join(parts[:i], "/")]++
+		}
+		if path == "" {
+			u[""]++
+		}
+	}
+	u["(total)"] = b.model.NumCores()
+	return u
+}
+
+// String renders the usage report sorted by path.
+func (u Usage) String() string {
+	paths := make([]string, 0, len(u))
+	for p := range u {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var sb strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "%-40s %d\n", p, u[p])
+	}
+	return sb.String()
+}
+
+// Splitter builds a fan-out corelet: TrueNorth neurons target exactly
+// one axon, so duplicating a signal requires a core whose neurons all
+// listen to the same axon. The returned core has `inputs` axons and
+// `inputs*fanout` repeater neurons: neuron i*fanout+k repeats axon i.
+// The caller routes each repeater onward and wires sources to the
+// axons. Repeaters are threshold-1, reset-to-zero, weight-1 neurons.
+func Splitter(b *Builder, inputs, fanout int) (*truenorth.Core, error) {
+	if inputs <= 0 || fanout <= 0 {
+		return nil, fmt.Errorf("corelet: splitter %dx%d invalid", inputs, fanout)
+	}
+	if inputs > truenorth.CoreSize || inputs*fanout > truenorth.CoreSize {
+		return nil, fmt.Errorf("corelet: splitter %dx%d exceeds core size", inputs, fanout)
+	}
+	c, err := b.NewCore(inputs, inputs*fanout)
+	if err != nil {
+		return nil, err
+	}
+	p := truenorth.DefaultNeuron()
+	p.Weights = [truenorth.NumAxonTypes]int32{1, 0, 0, 0}
+	p.Threshold = 1
+	for a := 0; a < inputs; a++ {
+		if err := c.SetAxonType(a, 0); err != nil {
+			return nil, err
+		}
+		for k := 0; k < fanout; k++ {
+			n := a*fanout + k
+			if err := c.SetNeuron(n, p); err != nil {
+				return nil, err
+			}
+			if err := c.Connect(a, n, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// InnerProduct builds a weighted-sum corelet, the primitive Table 1
+// identifies as TrueNorth's strength: a single core computing
+// y_j = sum_i W[j][i] * x_i for spike-count inputs, emitting
+// floor(y_j / threshold) spikes over the run via reset-by-subtraction.
+// Weights must use at most NumAxonTypes distinct values per neuron.
+// Axon i carries input i; neuron j accumulates row j.
+func InnerProduct(b *Builder, weights [][]int32, threshold int32) (*truenorth.Core, error) {
+	if len(weights) == 0 || len(weights[0]) == 0 {
+		return nil, fmt.Errorf("corelet: empty weight matrix")
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("corelet: threshold %d must be positive", threshold)
+	}
+	nOut, nIn := len(weights), len(weights[0])
+	for j, row := range weights {
+		if len(row) != nIn {
+			return nil, fmt.Errorf("corelet: ragged weight row %d", j)
+		}
+	}
+	c, err := b.NewCore(nIn, nOut)
+	if err != nil {
+		return nil, err
+	}
+	// Assign axon types greedily so that each neuron's row uses at most
+	// NumAxonTypes distinct weights, all rows agreeing on the type of
+	// each axon. This is feasible when the matrix columns take at most
+	// NumAxonTypes distinct "column patterns"; we implement the common
+	// case where every row uses the same weight for a given column
+	// class. The general case is handled by column duplication at a
+	// higher level (see DuplicatedInnerProduct).
+	type colKey string
+	keyOf := func(i int) colKey {
+		var sb strings.Builder
+		for j := range weights {
+			fmt.Fprintf(&sb, "%d,", weights[j][i])
+		}
+		return colKey(sb.String())
+	}
+	classOf := map[colKey]int{}
+	for i := 0; i < nIn; i++ {
+		k := keyOf(i)
+		if _, ok := classOf[k]; !ok {
+			classOf[k] = len(classOf)
+		}
+		if classOf[k] >= truenorth.NumAxonTypes {
+			return nil, fmt.Errorf("corelet: weight matrix needs %d axon types, max %d; duplicate columns instead",
+				classOf[k]+1, truenorth.NumAxonTypes)
+		}
+		if err := c.SetAxonType(i, classOf[k]); err != nil {
+			return nil, err
+		}
+	}
+	for j := 0; j < nOut; j++ {
+		p := truenorth.DefaultNeuron()
+		p.ResetMode = truenorth.ResetSubtract
+		p.Threshold = threshold
+		p.Floor = -1 << 24
+		for i := 0; i < nIn; i++ {
+			t := c.AxonType(i)
+			w := weights[j][i]
+			if w == 0 {
+				continue
+			}
+			if p.Weights[t] != 0 && p.Weights[t] != w && c.Connected(i, j) {
+				return nil, fmt.Errorf("corelet: neuron %d weight conflict on type %d", j, t)
+			}
+			p.Weights[t] = w
+			if err := c.Connect(i, j, true); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.SetNeuron(j, p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

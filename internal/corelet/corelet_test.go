@@ -1,0 +1,212 @@
+package corelet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/truenorth"
+)
+
+func TestBuilderScopesAndUsage(t *testing.T) {
+	b := NewBuilder()
+	b.Begin("hog")
+	b.Begin("gradient")
+	if _, err := b.NewCore(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.NewCore(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	b.Begin("wta")
+	if _, err := b.NewCore(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	b.End()
+	u := b.Usage()
+	if u["hog"] != 3 || u["hog/gradient"] != 2 || u["hog/wta"] != 1 {
+		t.Errorf("usage = %v", u)
+	}
+	if u["(total)"] != 3 {
+		t.Errorf("total = %d", u["(total)"])
+	}
+	if !strings.Contains(u.String(), "hog/gradient") {
+		t.Error("usage string missing path")
+	}
+}
+
+func TestBuilderUnbalancedScopes(t *testing.T) {
+	b := NewBuilder()
+	b.Begin("x")
+	if _, err := b.Model(); err == nil {
+		t.Error("unbalanced Begin should fail Model()")
+	}
+	b.End()
+	defer func() {
+		if recover() == nil {
+			t.Error("End without Begin should panic")
+		}
+	}()
+	b.End()
+}
+
+func TestSplitterDuplicatesSignal(t *testing.T) {
+	b := NewBuilder()
+	b.Begin("split")
+	c, err := Splitter(b, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	// Wire inputs and route all 6 repeaters to output pins.
+	if _, err := b.Input(c.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Input(c.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 6; n++ {
+		if err := b.Route(c.ID, n, truenorth.Target{Core: truenorth.ExternalCore, Axon: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.InjectInput(0) // spike input 0 only
+	out := sim.Step()
+	for n := 0; n < 3; n++ {
+		if !out[n] {
+			t.Errorf("repeater %d of input 0 silent", n)
+		}
+	}
+	for n := 3; n < 6; n++ {
+		if out[n] {
+			t.Errorf("repeater %d of input 1 spiked spuriously", n)
+		}
+	}
+}
+
+func TestSplitterValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := Splitter(b, 0, 3); err == nil {
+		t.Error("0 inputs should error")
+	}
+	if _, err := Splitter(b, 200, 3); err == nil {
+		t.Error("600 neurons should exceed core size")
+	}
+}
+
+func TestInnerProductComputesWeightedSums(t *testing.T) {
+	// y0 = 2*x0 + 1*x1; y1 = -1*x0 + 2*x1 with threshold 1:
+	// spike counts over a run equal the positive weighted sums.
+	b := NewBuilder()
+	b.Begin("ip")
+	c, err := InnerProduct(b, [][]int32{
+		{2, 1},
+		{-1, 2},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	if _, err := b.Input(c.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Input(c.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Route(c.ID, 0, truenorth.Target{Core: truenorth.ExternalCore, Axon: 0})
+	_ = b.Route(c.ID, 1, truenorth.Target{Core: truenorth.ExternalCore, Axon: 1})
+	m, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x0 = 5 spikes, x1 = 3 spikes over 40 ticks, then 20 drain ticks so
+	// residual membrane (fires cap at one spike per tick) empties.
+	x0 := truenorth.RateEncode(5.0/40, 40)
+	x1 := truenorth.RateEncode(3.0/40, 40)
+	counts, err := sim.Run(60, func(tick int) []int {
+		var pins []int
+		if tick < 40 && x0[tick] {
+			pins = append(pins, 0)
+		}
+		if tick < 40 && x1[tick] {
+			pins = append(pins, 1)
+		}
+		return pins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2*5+1*3 {
+		t.Errorf("y0 = %d, want 13", counts[0])
+	}
+	if counts[1] != -1*5+2*3 {
+		t.Errorf("y1 = %d, want 1", counts[1])
+	}
+}
+
+func TestInnerProductThresholdDivides(t *testing.T) {
+	b := NewBuilder()
+	c, err := InnerProduct(b, [][]int32{{3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Input(c.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Route(c.ID, 0, truenorth.Target{Core: truenorth.ExternalCore, Axon: 0})
+	m, _ := b.Model()
+	sim, _ := truenorth.NewSimulator(m, 1)
+	counts, err := sim.Run(20, func(tick int) []int {
+		if tick < 4 { // 4 input spikes -> integrated 12 -> 6 output spikes
+			return []int{0}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 6 {
+		t.Errorf("count = %d, want floor(12/2)=6", counts[0])
+	}
+}
+
+func TestInnerProductValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := InnerProduct(b, nil, 1); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, err := InnerProduct(b, [][]int32{{1}, {1, 2}}, 1); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, err := InnerProduct(b, [][]int32{{1}}, 0); err == nil {
+		t.Error("zero threshold should error")
+	}
+	// Five distinct column patterns exceed the four axon types.
+	bad := [][]int32{{1, 2, 3, 4, 5}}
+	if _, err := InnerProduct(b, bad, 1); err == nil {
+		t.Error("5 distinct columns should exceed axon types")
+	}
+}
+
+func TestNewCoreErrorMentionsPath(t *testing.T) {
+	b := NewBuilder()
+	b.Begin("broken")
+	_, err := b.NewCore(0, 1)
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error should mention corelet path: %v", err)
+	}
+	b.End()
+}

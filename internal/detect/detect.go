@@ -1,0 +1,281 @@
+// Package detect implements the paper's detection protocol (Sec. 4):
+// sliding 64x128 windows over a 1.1x scale pyramid, score thresholding,
+// greedy non-maximum suppression with epsilon = 0.2, and the
+// miss-rate versus false-positives-per-image evaluation of Dollar et
+// al. with IoU >= 0.5 true-positive matching.
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/imgproc"
+	"repro/internal/stats"
+)
+
+// Extractor produces window descriptors from cell grids; hog.Extractor,
+// hog.FPGAExtractor, napprox.Extractor and parrot.Extractor satisfy it.
+type Extractor interface {
+	CellGrid(img *imgproc.Image) [][][]float64
+	DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error)
+}
+
+// Scorer maps a window descriptor to a detection score; svm.Model and
+// the Eedn classifier adapter satisfy it.
+type Scorer interface {
+	Score(x []float64) float64
+}
+
+// Detection is one scored candidate box in original-image coordinates.
+type Detection struct {
+	Box   dataset.Box
+	Score float64
+}
+
+// Config parameterizes the detector.
+type Config struct {
+	// CellSize is the extractor's cell size in pixels (8).
+	CellSize int
+	// WindowCellsX/Y is the window size in cells (8 x 16).
+	WindowCellsX, WindowCellsY int
+	// ScaleFactor is the pyramid step (1.1 in the paper).
+	ScaleFactor float64
+	// MaxLevels caps pyramid depth (15 windows in the paper's test
+	// protocol); 0 means scan until the window no longer fits.
+	MaxLevels int
+	// StrideCells is the window step in cells (1 = dense cell-aligned
+	// scan).
+	StrideCells int
+	// Threshold is the minimum score for a candidate detection.
+	Threshold float64
+	// NMSEpsilon is the overlap at which a weaker box is suppressed.
+	NMSEpsilon float64
+}
+
+// DefaultConfig returns the paper's protocol parameters.
+func DefaultConfig() Config {
+	return Config{
+		CellSize: 8, WindowCellsX: 8, WindowCellsY: 16,
+		ScaleFactor: 1.1, MaxLevels: 15, StrideCells: 1,
+		Threshold: 0, NMSEpsilon: 0.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.CellSize <= 0 || c.WindowCellsX <= 0 || c.WindowCellsY <= 0:
+		return fmt.Errorf("detect: non-positive geometry")
+	case c.ScaleFactor <= 1:
+		return fmt.Errorf("detect: scale factor %v must exceed 1", c.ScaleFactor)
+	case c.StrideCells <= 0:
+		return fmt.Errorf("detect: stride %d must be positive", c.StrideCells)
+	case c.NMSEpsilon < 0 || c.NMSEpsilon > 1:
+		return fmt.Errorf("detect: NMS epsilon %v outside [0,1]", c.NMSEpsilon)
+	}
+	return nil
+}
+
+// Detector combines an extractor and a scorer under a Config.
+type Detector struct {
+	Extractor Extractor
+	Scorer    Scorer
+	Config    Config
+}
+
+// NewDetector validates the configuration and returns a detector.
+func NewDetector(e Extractor, s Scorer, cfg Config) (*Detector, error) {
+	if e == nil || s == nil {
+		return nil, fmt.Errorf("detect: nil extractor or scorer")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{Extractor: e, Scorer: s, Config: cfg}, nil
+}
+
+// Detect scans img and returns NMS-filtered detections in image
+// coordinates, sorted by descending score.
+func (d *Detector) Detect(img *imgproc.Image) []Detection {
+	raw := d.DetectRaw(img)
+	return NMS(raw, d.Config.NMSEpsilon)
+}
+
+// DetectRaw returns all above-threshold windows before suppression.
+func (d *Detector) DetectRaw(img *imgproc.Image) []Detection {
+	cfg := d.Config
+	winW := cfg.WindowCellsX * cfg.CellSize
+	winH := cfg.WindowCellsY * cfg.CellSize
+	levels := imgproc.Pyramid(img, cfg.ScaleFactor, winW, winH, cfg.MaxLevels)
+	var out []Detection
+	for li, level := range levels {
+		scale := math.Pow(cfg.ScaleFactor, float64(li))
+		grid := d.Extractor.CellGrid(level)
+		cy := len(grid)
+		if cy == 0 {
+			continue
+		}
+		cx := len(grid[0])
+		for gy := 0; gy+cfg.WindowCellsY <= cy; gy += cfg.StrideCells {
+			for gx := 0; gx+cfg.WindowCellsX <= cx; gx += cfg.StrideCells {
+				desc, err := d.Extractor.DescriptorAt(grid, gx, gy)
+				if err != nil {
+					continue
+				}
+				s := d.Scorer.Score(desc)
+				if s < cfg.Threshold {
+					continue
+				}
+				out = append(out, Detection{
+					Box: dataset.Box{
+						X: int(float64(gx*cfg.CellSize) * scale),
+						Y: int(float64(gy*cfg.CellSize) * scale),
+						W: int(float64(winW) * scale),
+						H: int(float64(winH) * scale),
+					},
+					Score: s,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// NMS applies greedy non-maximum suppression: detections are taken in
+// descending score order and any remaining box overlapping a kept box
+// with IoU > eps is discarded.
+func NMS(dets []Detection, eps float64) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var kept []Detection
+	for _, d := range sorted {
+		ok := true
+		for _, k := range kept {
+			if d.Box.IoU(k.Box) > eps {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Evaluate computes the miss-rate/FPPI curve over a test set:
+// dets[i] are the detections on image i and truths[i] its ground
+// truth. A detection is a true positive when it overlaps an unmatched
+// ground-truth box with IoU >= minIoU (0.5 in the paper); otherwise it
+// is a false positive. The returned curve is sorted by ascending FPPI.
+func Evaluate(dets [][]Detection, truths [][]dataset.Box, minIoU float64) *stats.Curve {
+	type scored struct {
+		score float64
+		tp    bool
+	}
+	var all []scored
+	totalGT := 0
+	nImages := len(dets)
+	for i := range dets {
+		var gts []dataset.Box
+		if i < len(truths) {
+			gts = truths[i]
+		}
+		totalGT += len(gts)
+		matched := make([]bool, len(gts))
+		ds := append([]Detection(nil), dets[i]...)
+		sort.Slice(ds, func(a, b int) bool { return ds[a].Score > ds[b].Score })
+		for _, det := range ds {
+			best := -1
+			bestIoU := minIoU
+			for g, gt := range gts {
+				if matched[g] {
+					continue
+				}
+				if iou := det.Box.IoU(gt); iou >= bestIoU {
+					best = g
+					bestIoU = iou
+				}
+			}
+			if best >= 0 {
+				matched[best] = true
+				all = append(all, scored{det.Score, true})
+			} else {
+				all = append(all, scored{det.Score, false})
+			}
+		}
+	}
+	curve := &stats.Curve{Name: "missrate-vs-fppi"}
+	if nImages == 0 {
+		return curve
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	tp, fp := 0, 0
+	for i, s := range all {
+		if s.tp {
+			tp++
+		} else {
+			fp++
+		}
+		// Emit a point at each distinct threshold (last of equal
+		// scores).
+		if i+1 < len(all) && all[i+1].score == s.score {
+			continue
+		}
+		miss := 1.0
+		if totalGT > 0 {
+			miss = 1 - float64(tp)/float64(totalGT)
+		}
+		curve.Points = append(curve.Points, stats.Point{
+			X: float64(fp) / float64(nImages),
+			Y: miss,
+		})
+	}
+	curve.SortByX()
+	return curve
+}
+
+// LogAvgMissRate summarizes a curve over the standard 10^-2..10^0
+// FPPI range.
+func LogAvgMissRate(c *stats.Curve) float64 {
+	return stats.LogAvgMissRate(c, 0.01, 1, 9)
+}
+
+// BootstrapLAMR estimates a confidence interval for the log-average
+// miss rate by resampling test images with replacement. It returns
+// the central point estimate and the [lo, hi] bounds at the given
+// confidence (e.g. 0.9). Rounds of 200+ give stable intervals.
+func BootstrapLAMR(dets [][]Detection, truths [][]dataset.Box, minIoU float64,
+	rounds int, confidence float64, seed int64) (point, lo, hi float64) {
+	point = LogAvgMissRate(Evaluate(dets, truths, minIoU))
+	if rounds <= 0 || len(dets) == 0 || confidence <= 0 || confidence >= 1 {
+		return point, math.NaN(), math.NaN()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, rounds)
+	rd := make([][]Detection, len(dets))
+	rt := make([][]dataset.Box, len(dets))
+	for r := 0; r < rounds; r++ {
+		for i := range rd {
+			k := rng.Intn(len(dets))
+			rd[i] = dets[k]
+			if k < len(truths) {
+				rt[i] = truths[k]
+			} else {
+				rt[i] = nil
+			}
+		}
+		v := LogAvgMissRate(Evaluate(rd, rt, minIoU))
+		if !math.IsNaN(v) {
+			samples = append(samples, v)
+		}
+	}
+	if len(samples) == 0 {
+		return point, math.NaN(), math.NaN()
+	}
+	alpha := (1 - confidence) / 2
+	return point, stats.Quantile(samples, alpha), stats.Quantile(samples, 1-alpha)
+}

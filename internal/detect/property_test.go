@@ -1,0 +1,179 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// NMS must be idempotent: suppressing an already-suppressed set
+// changes nothing.
+func TestNMSIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var dets []Detection
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			dets = append(dets, Detection{
+				Box: dataset.Box{
+					X: rng.Intn(200), Y: rng.Intn(200),
+					W: 20 + rng.Intn(60), H: 40 + rng.Intn(120),
+				},
+				Score: rng.Float64()*4 - 2,
+			})
+		}
+		once := NMS(dets, 0.2)
+		twice := NMS(once, 0.2)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every survivor of NMS must have IoU <= eps with every other
+// survivor.
+func TestNMSPairwiseSeparation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var dets []Detection
+		for i := 0; i < 30; i++ {
+			dets = append(dets, Detection{
+				Box: dataset.Box{
+					X: rng.Intn(100), Y: rng.Intn(100),
+					W: 30 + rng.Intn(40), H: 60 + rng.Intn(80),
+				},
+				Score: rng.Float64(),
+			})
+		}
+		kept := NMS(dets, 0.2)
+		for i := range kept {
+			for j := i + 1; j < len(kept); j++ {
+				if kept[i].Box.IoU(kept[j].Box) > 0.2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// NMS output scores must be non-increasing and a subset of the input.
+func TestNMSOrderingAndSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var dets []Detection
+	for i := 0; i < 25; i++ {
+		dets = append(dets, Detection{
+			Box:   dataset.Box{X: rng.Intn(300), Y: rng.Intn(300), W: 64, H: 128},
+			Score: rng.NormFloat64(),
+		})
+	}
+	kept := NMS(dets, 0.2)
+	seen := map[Detection]bool{}
+	for _, d := range dets {
+		seen[d] = true
+	}
+	for i, k := range kept {
+		if !seen[k] {
+			t.Fatalf("NMS invented a detection: %+v", k)
+		}
+		if i > 0 && kept[i-1].Score < k.Score {
+			t.Fatal("NMS output not sorted by score")
+		}
+	}
+}
+
+// The evaluation curve's miss rate must be non-increasing along FPPI
+// (adding more detections can only find more truths).
+func TestEvaluateMissRateMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nImg := 3 + rng.Intn(3)
+		var dets [][]Detection
+		var truths [][]dataset.Box
+		for i := 0; i < nImg; i++ {
+			var tr []dataset.Box
+			for j := 0; j < rng.Intn(3); j++ {
+				tr = append(tr, dataset.Box{
+					X: rng.Intn(200), Y: rng.Intn(200), W: 50, H: 100,
+				})
+			}
+			truths = append(truths, tr)
+			var ds []Detection
+			for j := 0; j < rng.Intn(8); j++ {
+				b := dataset.Box{X: rng.Intn(250), Y: rng.Intn(250), W: 50, H: 100}
+				if len(tr) > 0 && rng.Intn(2) == 0 {
+					b = tr[rng.Intn(len(tr))] // guaranteed hit
+				}
+				ds = append(ds, Detection{Box: b, Score: rng.Float64()})
+			}
+			dets = append(dets, ds)
+		}
+		c := Evaluate(dets, truths, 0.5)
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].X < c.Points[i-1].X {
+				return false
+			}
+			if c.Points[i].Y > c.Points[i-1].Y+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapLAMR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var dets [][]Detection
+	var truths [][]dataset.Box
+	for i := 0; i < 8; i++ {
+		gt := dataset.Box{X: 10, Y: 10, W: 50, H: 100}
+		truths = append(truths, []dataset.Box{gt})
+		var ds []Detection
+		if rng.Intn(4) != 0 { // detector finds 3 of 4
+			ds = append(ds, Detection{Box: gt, Score: rng.Float64() + 1})
+		}
+		for j := 0; j < rng.Intn(3); j++ { // noise FPs
+			ds = append(ds, Detection{
+				Box:   dataset.Box{X: 150 + 10*j, Y: 150, W: 50, H: 100},
+				Score: rng.Float64(),
+			})
+		}
+		dets = append(dets, ds)
+	}
+	point, lo, hi := BootstrapLAMR(dets, truths, 0.5, 200, 0.9, 7)
+	if math.IsNaN(point) {
+		t.Fatal("point estimate NaN")
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("bounds NaN")
+	}
+	if !(lo <= hi) {
+		t.Fatalf("interval inverted: [%v, %v]", lo, hi)
+	}
+	if point < lo-0.3 || point > hi+0.3 {
+		t.Errorf("point %v far outside interval [%v, %v]", point, lo, hi)
+	}
+	// Degenerate arguments return NaN bounds but a point estimate.
+	p2, l2, h2 := BootstrapLAMR(dets, truths, 0.5, 0, 0.9, 7)
+	if math.IsNaN(p2) || !math.IsNaN(l2) || !math.IsNaN(h2) {
+		t.Error("degenerate bootstrap handling wrong")
+	}
+}

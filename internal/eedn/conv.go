@@ -1,0 +1,208 @@
+package eedn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a grouped 2-D convolution layer with trinary deployed
+// weights and binary threshold activation, the building block Eedn
+// partitions so that every filter group's fan-in (kernel area x group
+// input channels) fits a TrueNorth crossbar.
+//
+// Tensors are flat []float64 in CHW order. Padding is zero; stride is
+// configurable.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC          int
+	K             int // kernel side
+	Stride        int
+	Groups        int // input/output channels are split evenly
+
+	Hidden []float64 // OutC x (InC/Groups) x K x K
+	Bias   []float64
+
+	vel, velB    []float64
+	gradW, gradB []float64
+	lastIn       []float64
+	lastPre      []float64
+}
+
+// NewConv2D returns a grouped convolution layer. InC and OutC must be
+// divisible by groups.
+func NewConv2D(inC, inH, inW, outC, k, stride, groups int, rng *rand.Rand) (*Conv2D, error) {
+	switch {
+	case inC <= 0 || inH <= 0 || inW <= 0 || outC <= 0 || k <= 0 || stride <= 0 || groups <= 0:
+		return nil, fmt.Errorf("eedn: conv dims must be positive")
+	case inC%groups != 0 || outC%groups != 0:
+		return nil, fmt.Errorf("eedn: channels %d/%d not divisible by groups %d", inC, outC, groups)
+	case inH < k || inW < k:
+		return nil, fmt.Errorf("eedn: kernel %d exceeds input %dx%d", k, inH, inW)
+	}
+	nw := outC * (inC / groups) * k * k
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW, OutC: outC, K: k, Stride: stride, Groups: groups,
+		Hidden: make([]float64, nw),
+		Bias:   make([]float64, outC),
+		vel:    make([]float64, nw),
+		velB:   make([]float64, outC),
+		gradW:  make([]float64, nw),
+		gradB:  make([]float64, outC),
+	}
+	for i := range c.Hidden {
+		c.Hidden[i] = (rng.Float64()*2 - 1) * 0.8
+	}
+	return c, nil
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return (c.InH-c.K)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return (c.InW-c.K)/c.Stride + 1 }
+
+// InDim returns the flattened input length.
+func (c *Conv2D) InDim() int { return c.InC * c.InH * c.InW }
+
+// OutDim returns the flattened output length.
+func (c *Conv2D) OutDim() int { return c.OutC * c.OutH() * c.OutW() }
+
+// FanIn returns each filter's fan-in, the quantity the Eedn grouping
+// rule keeps within a 256-axon crossbar.
+func (c *Conv2D) FanIn() int { return (c.InC / c.Groups) * c.K * c.K }
+
+func (c *Conv2D) preact(x []float64, out []float64) {
+	oh, ow := c.OutH(), c.OutW()
+	icg := c.InC / c.Groups
+	ocg := c.OutC / c.Groups
+	norm := 1 / math.Sqrt(float64(c.FanIn()))
+	for oc := 0; oc < c.OutC; oc++ {
+		g := oc / ocg
+		wBase := oc * icg * c.K * c.K
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float64
+				for ic := 0; ic < icg; ic++ {
+					inC := g*icg + ic
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky
+						xRow := inC*c.InH*c.InW + iy*c.InW + ox*c.Stride
+						wRow := wBase + ic*c.K*c.K + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							w := c.Hidden[wRow+kx]
+							switch {
+							case w >= TrinaryDeadZone:
+								s += x[xRow+kx]
+							case w <= -TrinaryDeadZone:
+								s -= x[xRow+kx]
+							}
+						}
+					}
+				}
+				out[oc*oh*ow+oy*ow+ox] = s*norm + c.Bias[oc]
+			}
+		}
+	}
+}
+
+// Forward computes the deployed binary-activation output.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	if len(x) != c.InDim() {
+		panic(fmt.Sprintf("eedn: conv forward input %d, want %d", len(x), c.InDim()))
+	}
+	out := make([]float64, c.OutDim())
+	c.preact(x, out)
+	for i, v := range out {
+		if v >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// ForwardTrain is Forward with caching for Backward.
+func (c *Conv2D) ForwardTrain(x []float64) []float64 {
+	c.lastIn = append(c.lastIn[:0], x...)
+	out := make([]float64, c.OutDim())
+	c.preact(x, out)
+	c.lastPre = append(c.lastPre[:0], out...)
+	for i, v := range out {
+		if v >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns the input gradient.
+func (c *Conv2D) Backward(gradOut []float64) []float64 {
+	if len(gradOut) != c.OutDim() {
+		panic("eedn: conv backward dim mismatch")
+	}
+	oh, ow := c.OutH(), c.OutW()
+	icg := c.InC / c.Groups
+	ocg := c.OutC / c.Groups
+	norm := 1 / math.Sqrt(float64(c.FanIn()))
+	gradIn := make([]float64, c.InDim())
+	for oc := 0; oc < c.OutC; oc++ {
+		g := oc / ocg
+		wBase := oc * icg * c.K * c.K
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				go_ := gradOut[oc*oh*ow+oy*ow+ox] * steWindow(c.lastPre[oc*oh*ow+oy*ow+ox])
+				if go_ == 0 {
+					continue
+				}
+				c.gradB[oc] += go_
+				gn := go_ * norm
+				for ic := 0; ic < icg; ic++ {
+					inC := g*icg + ic
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky
+						xRow := inC*c.InH*c.InW + iy*c.InW + ox*c.Stride
+						wRow := wBase + ic*c.K*c.K + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							c.gradW[wRow+kx] += gn * c.lastIn[xRow+kx]
+							w := c.Hidden[wRow+kx]
+							switch {
+							case w >= TrinaryDeadZone:
+								gradIn[xRow+kx] += gn
+							case w <= -TrinaryDeadZone:
+								gradIn[xRow+kx] -= gn
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Update applies SGD with momentum and weight clipping.
+func (c *Conv2D) Update(lr, momentum float64, batch int) {
+	if batch <= 0 {
+		batch = 1
+	}
+	inv := 1 / float64(batch)
+	for i := range c.Hidden {
+		c.vel[i] = momentum*c.vel[i] - lr*c.gradW[i]*inv
+		c.Hidden[i] += c.vel[i]
+		if c.Hidden[i] > 1 {
+			c.Hidden[i] = 1
+		} else if c.Hidden[i] < -1 {
+			c.Hidden[i] = -1
+		}
+		c.gradW[i] = 0
+	}
+	for j := range c.Bias {
+		c.velB[j] = momentum*c.velB[j] - lr*c.gradB[j]*inv
+		c.Bias[j] += c.velB[j]
+		c.gradB[j] = 0
+	}
+}

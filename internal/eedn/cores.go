@@ -1,0 +1,334 @@
+package eedn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/corelet"
+	"repro/internal/truenorth"
+)
+
+// Core accounting. Eedn maps each filter group onto TrueNorth core
+// crossbars; trinary weights need two typed axon lines per input (a
+// +1 line and a -1 line), so a core accepts at most 128 distinct
+// inputs. Layers whose fan-in exceeds that are split into input groups
+// whose partial sums are combined by an extra stage, and inter-layer
+// fan-out to the two lines costs splitter cores.
+
+// axonsPerInput is the number of crossbar lines a trinary input needs.
+const axonsPerInput = 2
+
+// maxFanIn is the largest fan-in a single core supports with trinary
+// weights.
+const maxFanIn = truenorth.CoreSize / axonsPerInput
+
+// DenseCoreEstimate returns the TrueNorth core count for a dense layer
+// of the given fan-in and neuron count, including input-splitting,
+// combine stages, and the inter-layer splitter that duplicates each
+// input onto its +/- lines.
+func DenseCoreEstimate(in, out int) int {
+	groups := (in + maxFanIn - 1) / maxFanIn
+	cores := groups * ((out + truenorth.CoreSize - 1) / truenorth.CoreSize)
+	if groups > 1 {
+		// Partial sums per neuron are combined in a second stage.
+		cores += (out + truenorth.CoreSize - 1) / truenorth.CoreSize
+	}
+	// Splitter: each of `in` signals fans out to `groups` cores' +/-
+	// line pairs.
+	splitNeurons := in * axonsPerInput * groups
+	cores += (splitNeurons + truenorth.CoreSize - 1) / truenorth.CoreSize
+	return cores
+}
+
+// ConvCoreEstimate returns the core count for a grouped convolution:
+// each output location's filter bank is a dense block of fan-in
+// FanIn() and OutC/Groups neurons, with weight sharing amortized by
+// TrueNorth's crossbar replication (one core bank per output location
+// stripe of 256 neurons).
+func (c *Conv2D) ConvCoreEstimate() int {
+	positions := c.OutH() * c.OutW()
+	neurons := positions * c.OutC
+	groups := (c.FanIn() + maxFanIn - 1) / maxFanIn
+	cores := groups * ((neurons + truenorth.CoreSize - 1) / truenorth.CoreSize)
+	if groups > 1 {
+		cores += (neurons + truenorth.CoreSize - 1) / truenorth.CoreSize
+	}
+	splitNeurons := c.InDim() * axonsPerInput
+	cores += (splitNeurons + truenorth.CoreSize - 1) / truenorth.CoreSize
+	return cores
+}
+
+// CoreEstimate sums the per-layer core estimates of a network.
+func CoreEstimate(n *Network) int {
+	total := 0
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			total += DenseCoreEstimate(t.In, t.Out)
+		case *Conv2D:
+			total += t.ConvCoreEstimate()
+		default:
+			total += DenseCoreEstimate(l.InDim(), l.OutDim())
+		}
+	}
+	return total
+}
+
+// Deployment maps a network of Dense layers onto the TrueNorth
+// simulator for hardware validation: every input is duplicated onto a
+// +line/-line pair by a splitter core, and each layer becomes one core
+// whose neurons carry trinary rows and integer thresholds. One binary
+// pass takes Latency ticks; the simulator must be Reset between
+// passes (per-pass membrane zeroing).
+type Deployment struct {
+	Model     *truenorth.Model
+	InputPins []int
+	Latency   int
+	Usage     corelet.Usage
+	outDim    int
+	goPin     int
+}
+
+// Deploy builds the deployment. It supports stacks of threshold
+// (non-Linear) Dense layers with In <= 128 and Out <= 128 per layer
+// (one core each plus one splitter each); larger networks are
+// evaluated in software and accounted with DenseCoreEstimate.
+//
+// Neurons whose firing threshold would be non-positive (positive bias)
+// would fire before their inputs arrive, so every layer carries a bias
+// axon pulsed by a clock chain exactly when the layer's data lands:
+// the neuron threshold is lifted to at least 1 and the difference
+// delivered as a per-neuron bias weight on that pulse.
+func Deploy(n *Network) (*Deployment, error) {
+	// Each layer core spends 2 axons per input plus one bias axon.
+	const deployFanIn = (truenorth.CoreSize - 1) / 2
+	for i, l := range n.Layers {
+		d, ok := l.(*Dense)
+		if !ok {
+			return nil, fmt.Errorf("eedn: deploy supports Dense layers only (layer %d)", i)
+		}
+		if d.In > deployFanIn {
+			return nil, fmt.Errorf("eedn: layer %d fan-in %d exceeds %d", i, d.In, deployFanIn)
+		}
+		if d.Out > deployFanIn && i != len(n.Layers)-1 {
+			return nil, fmt.Errorf("eedn: layer %d width %d exceeds %d", i, d.Out, deployFanIn)
+		}
+		if d.Out > truenorth.CoreSize {
+			return nil, fmt.Errorf("eedn: layer %d width %d exceeds core size", i, d.Out)
+		}
+		if d.Linear {
+			return nil, fmt.Errorf("eedn: layer %d is Linear; only threshold layers deploy", i)
+		}
+	}
+	b := corelet.NewBuilder()
+	b.Begin("eedn")
+
+	// Clock core: chain neuron k and tap neuron k both fire at tick
+	// k+1; taps at even positions pulse the bias axon of layer k/2.
+	nLayers := len(n.Layers)
+	b.Begin("clock")
+	clock, err := b.NewCore(2*nLayers, 4*nLayers)
+	if err != nil {
+		return nil, err
+	}
+	b.End()
+	pulse := truenorth.DefaultNeuron()
+	pulse.Weights = [truenorth.NumAxonTypes]int32{1, 0, 0, 0}
+	pulse.Threshold = 1
+	for k := 0; k < 2*nLayers; k++ {
+		if err := clock.SetAxonType(k, 0); err != nil {
+			return nil, err
+		}
+		for _, nrn := range []int{2 * k, 2*k + 1} { // chain, tap
+			if err := clock.SetNeuron(nrn, pulse); err != nil {
+				return nil, err
+			}
+			if err := clock.Connect(k, nrn, true); err != nil {
+				return nil, err
+			}
+		}
+		if k+1 < 2*nLayers {
+			if err := b.Route(clock.ID, 2*k, truenorth.Target{Core: clock.ID, Axon: k + 1}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// prevOut holds, for each signal of the previous stage, the core
+	// and neuron producing it; stage 0 is external input, wired later.
+	type src struct{ core, neuron int }
+	var prev []src
+
+	in0 := n.Layers[0].InDim()
+	var pins []int
+
+	for li, l := range n.Layers {
+		d := l.(*Dense)
+		// Splitter: d.In axons -> 2*d.In repeaters (+line, -line).
+		b.Begin(fmt.Sprintf("split%d", li))
+		split, err := corelet.Splitter(b, d.In, 2)
+		if err != nil {
+			return nil, err
+		}
+		b.End()
+		if li == 0 {
+			pins = make([]int, in0)
+			for i := range pins {
+				pin, err := b.Input(split.ID, i)
+				if err != nil {
+					return nil, err
+				}
+				pins[i] = pin
+			}
+		} else {
+			for i, s := range prev {
+				if err := b.Route(s.core, s.neuron,
+					truenorth.Target{Core: split.ID, Axon: i}); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Layer core: axons 2*d.In (even = +line type 0, odd = -line
+		// type 1) plus a bias axon (type 2) pulsed when data arrives;
+		// neurons d.Out.
+		b.Begin(fmt.Sprintf("layer%d", li))
+		core, err := b.NewCore(2*d.In+1, d.Out)
+		if err != nil {
+			return nil, err
+		}
+		b.End()
+		biasAxon := 2 * d.In
+		if err := core.SetAxonType(biasAxon, 2); err != nil {
+			return nil, err
+		}
+		// Tap neuron at clock position 2*li fires at tick 2*li+1, so
+		// the bias pulse lands with the layer's data at tick 2*li+2.
+		if err := b.Route(clock.ID, 2*(2*li)+1,
+			truenorth.Target{Core: core.ID, Axon: biasAxon}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < d.In; i++ {
+			if err := core.SetAxonType(2*i, 0); err != nil {
+				return nil, err
+			}
+			if err := core.SetAxonType(2*i+1, 1); err != nil {
+				return nil, err
+			}
+			// Splitter neuron i*2 is the +line, i*2+1 the -line.
+			if err := b.Route(split.ID, 2*i, truenorth.Target{Core: core.ID, Axon: 2 * i}); err != nil {
+				return nil, err
+			}
+			if err := b.Route(split.ID, 2*i+1, truenorth.Target{Core: core.ID, Axon: 2*i + 1}); err != nil {
+				return nil, err
+			}
+		}
+		norm := math.Sqrt(float64(d.In))
+		for j := 0; j < d.Out; j++ {
+			p := truenorth.DefaultNeuron()
+			p.Weights = [truenorth.NumAxonTypes]int32{1, -1, 0, 0}
+			// Fire iff integer sum s satisfies s/norm + bias >= 0,
+			// i.e. s >= ceil(-bias*norm). Lift non-positive thresholds
+			// to 1 and supply the difference on the bias pulse.
+			th := int64(math.Ceil(-d.Bias[j]*norm - 1e-9))
+			if th > math.MaxInt16 {
+				return nil, fmt.Errorf("eedn: layer %d neuron %d threshold overflow", li, j)
+			}
+			lift := int64(0)
+			if th < 1 {
+				lift = 1 - th
+				th = 1
+			}
+			p.Threshold = int32(th)
+			p.Weights[2] = int32(lift)
+			p.Reset = 0
+			p.Floor = -1 << 24
+			if err := core.SetNeuron(j, p); err != nil {
+				return nil, err
+			}
+			if lift > 0 {
+				if err := core.Connect(biasAxon, j, true); err != nil {
+					return nil, err
+				}
+			}
+			row := d.Hidden[j*d.In : (j+1)*d.In]
+			for i, w := range row {
+				switch {
+				case w >= TrinaryDeadZone:
+					if err := core.Connect(2*i, j, true); err != nil {
+						return nil, err
+					}
+				case w <= -TrinaryDeadZone:
+					if err := core.Connect(2*i+1, j, true); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		prev = prev[:0]
+		for j := 0; j < d.Out; j++ {
+			prev = append(prev, src{core: core.ID, neuron: j})
+		}
+	}
+
+	// Final layer outputs go to external pins.
+	for j, s := range prev {
+		if err := b.Route(s.core, s.neuron,
+			truenorth.Target{Core: truenorth.ExternalCore, Axon: j}); err != nil {
+			return nil, err
+		}
+	}
+	goPin, err := b.Input(clock.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.End()
+	model, err := b.Model()
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		Model:     model,
+		InputPins: pins,
+		Latency:   2 * len(n.Layers),
+		Usage:     b.Usage(),
+		outDim:    n.OutDim(),
+		goPin:     goPin,
+	}, nil
+}
+
+// RunPass evaluates one binary input frame on the deployed network and
+// returns the binary outputs. The simulator is reset first, the frame
+// injected, and Latency ticks stepped; the output pins' spikes on the
+// final tick are the layer outputs.
+//
+// The final layer must use threshold activation for hardware
+// equivalence; a Linear readout cannot spike and is validated in
+// software instead.
+func (dep *Deployment) RunPass(sim *truenorth.Simulator, frame []float64) ([]float64, error) {
+	if len(frame) != len(dep.InputPins) {
+		return nil, fmt.Errorf("eedn: frame size %d, want %d", len(frame), len(dep.InputPins))
+	}
+	sim.Reset()
+	if err := sim.InjectInput(dep.goPin); err != nil {
+		return nil, err
+	}
+	for i, v := range frame {
+		if v >= 0.5 {
+			if err := sim.InjectInput(dep.InputPins[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var last []bool
+	for t := 0; t < dep.Latency; t++ {
+		last = sim.Step()
+	}
+	out := make([]float64, dep.outDim)
+	for j := range out {
+		if j < len(last) && last[j] {
+			out[j] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+// Package eedn implements an energy-efficient deep neuromorphic
+// network (Eedn) training and inference framework after Esser et al.
+// (2016), the classifier technology the paper uses for all three
+// design paradigms (Sec. 2.2, Sec. 5.1). The defining properties
+// reproduced here:
+//
+//   - Weights keep a high-precision hidden value during training and
+//     are mapped to trinary {-1, 0, +1} values for network operation.
+//   - Neurons are spiking threshold units (binary output); their
+//     non-differentiable activation uses a straight-through gradient
+//     approximated by a triangular window around the threshold.
+//   - Layers and filters are partitioned into groups so every filter's
+//     fan-in fits a 256x256 TrueNorth core crossbar.
+//
+// Inference runs one binary pass per coding tick: inputs are binarized
+// (stochastically or by thresholding against a deterministic schedule)
+// and output spikes are accumulated over the coding window, yielding
+// confidence values in [0, 1].
+package eedn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TrinaryDeadZone is the hidden-weight magnitude below which the
+// deployed trinary weight is zero: w_q = sign(w_h) when |w_h| >= 0.5.
+const TrinaryDeadZone = 0.5
+
+// Trinarize maps a hidden weight to its deployed trinary value.
+func Trinarize(w float64) float64 {
+	switch {
+	case w >= TrinaryDeadZone:
+		return 1
+	case w <= -TrinaryDeadZone:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// steWindow is the triangular straight-through derivative window: the
+// gradient of the threshold activation is approximated by
+// max(0, 1 - |v|) around the firing threshold.
+func steWindow(v float64) float64 {
+	a := math.Abs(v)
+	if a >= 1 {
+		return 0
+	}
+	return 1 - a
+}
+
+// Dense is a fully connected Eedn layer with trinary deployed weights,
+// per-neuron bias (threshold), and binary threshold activation. The
+// pre-activation is normalized by sqrt(fan-in) so layer dynamics stay
+// scale-stable as width varies.
+type Dense struct {
+	In, Out int
+	// Hidden holds the high-precision training weights, Out x In
+	// row-major.
+	Hidden []float64
+	// Bias holds per-neuron biases (negated firing thresholds).
+	Bias []float64
+
+	// Final activation: when false the layer applies the binary
+	// threshold; when true it is a linear readout (used only as the
+	// last layer of regression heads).
+	Linear bool
+
+	// training state
+	vel     []float64 // momentum for weights
+	velB    []float64
+	lastIn  []float64
+	lastPre []float64
+	gradW   []float64
+	gradB   []float64
+}
+
+// NewDense returns a dense layer with hidden weights initialized
+// uniformly in [-0.8, 0.8], so roughly a third of the deployed
+// trinary weights start nonzero and signal flows from the first step.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("eedn: dense %dx%d invalid", in, out))
+	}
+	d := &Dense{
+		In: in, Out: out,
+		Hidden: make([]float64, in*out),
+		Bias:   make([]float64, out),
+		vel:    make([]float64, in*out),
+		velB:   make([]float64, out),
+		gradW:  make([]float64, in*out),
+		gradB:  make([]float64, out),
+	}
+	for i := range d.Hidden {
+		d.Hidden[i] = (rng.Float64()*2 - 1) * 0.8
+	}
+	return d
+}
+
+// InDim returns the input dimension.
+func (d *Dense) InDim() int { return d.In }
+
+// OutDim returns the output dimension.
+func (d *Dense) OutDim() int { return d.Out }
+
+// preact computes the normalized pre-activation with trinary weights.
+func (d *Dense) preact(x []float64, out []float64) {
+	norm := 1 / math.Sqrt(float64(d.In))
+	for j := 0; j < d.Out; j++ {
+		row := d.Hidden[j*d.In : (j+1)*d.In]
+		var s float64
+		for i, w := range row {
+			switch {
+			case w >= TrinaryDeadZone:
+				s += x[i]
+			case w <= -TrinaryDeadZone:
+				s -= x[i]
+			}
+		}
+		out[j] = s*norm + d.Bias[j]
+	}
+}
+
+// Forward computes the deployed-network output for x: binary threshold
+// spikes unless the layer is Linear.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("eedn: dense forward input %d, want %d", len(x), d.In))
+	}
+	out := make([]float64, d.Out)
+	d.preact(x, out)
+	if !d.Linear {
+		for j, v := range out {
+			if v >= 0 {
+				out[j] = 1
+			} else {
+				out[j] = 0
+			}
+		}
+	}
+	return out
+}
+
+// ForwardTrain is Forward with caching for Backward.
+func (d *Dense) ForwardTrain(x []float64) []float64 {
+	d.lastIn = append(d.lastIn[:0], x...)
+	out := make([]float64, d.Out)
+	d.preact(x, out)
+	d.lastPre = append(d.lastPre[:0], out...)
+	if !d.Linear {
+		for j, v := range out {
+			if v >= 0 {
+				out[j] = 1
+			} else {
+				out[j] = 0
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients for the cached forward pass
+// and returns the gradient with respect to the input. The threshold
+// activation's derivative uses the straight-through triangular window;
+// weight gradients flow to the hidden weights as if the deployed
+// weight were the hidden value (the BinaryConnect/Eedn convention).
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	if len(gradOut) != d.Out {
+		panic("eedn: dense backward dim mismatch")
+	}
+	norm := 1 / math.Sqrt(float64(d.In))
+	gradIn := make([]float64, d.In)
+	for j := 0; j < d.Out; j++ {
+		g := gradOut[j]
+		if !d.Linear {
+			g *= steWindow(d.lastPre[j])
+		}
+		if g == 0 {
+			continue
+		}
+		d.gradB[j] += g
+		row := d.Hidden[j*d.In : (j+1)*d.In]
+		gRow := d.gradW[j*d.In : (j+1)*d.In]
+		gn := g * norm
+		for i := range row {
+			gRow[i] += gn * d.lastIn[i]
+			switch {
+			case row[i] >= TrinaryDeadZone:
+				gradIn[i] += gn
+			case row[i] <= -TrinaryDeadZone:
+				gradIn[i] -= gn
+			}
+		}
+	}
+	return gradIn
+}
+
+// BackwardParamsOnly accumulates parameter gradients without
+// computing the input gradient — valid only for the first layer of a
+// network, where nothing consumes it.
+func (d *Dense) BackwardParamsOnly(gradOut []float64) {
+	if len(gradOut) != d.Out {
+		panic("eedn: dense backward dim mismatch")
+	}
+	norm := 1 / math.Sqrt(float64(d.In))
+	for j := 0; j < d.Out; j++ {
+		g := gradOut[j]
+		if !d.Linear {
+			g *= steWindow(d.lastPre[j])
+		}
+		if g == 0 {
+			continue
+		}
+		d.gradB[j] += g
+		gRow := d.gradW[j*d.In : (j+1)*d.In]
+		gn := g * norm
+		for i, x := range d.lastIn {
+			gRow[i] += gn * x
+		}
+	}
+}
+
+// Update applies one SGD-with-momentum step from the accumulated
+// gradients (scaled by 1/batch), clips hidden weights to [-1, 1], and
+// clears the gradient accumulators.
+func (d *Dense) Update(lr, momentum float64, batch int) {
+	if batch <= 0 {
+		batch = 1
+	}
+	inv := 1 / float64(batch)
+	for i := range d.Hidden {
+		d.vel[i] = momentum*d.vel[i] - lr*d.gradW[i]*inv
+		d.Hidden[i] += d.vel[i]
+		if d.Hidden[i] > 1 {
+			d.Hidden[i] = 1
+		} else if d.Hidden[i] < -1 {
+			d.Hidden[i] = -1
+		}
+		d.gradW[i] = 0
+	}
+	for j := range d.Bias {
+		d.velB[j] = momentum*d.velB[j] - lr*d.gradB[j]*inv
+		d.Bias[j] += d.velB[j]
+		d.gradB[j] = 0
+	}
+}
+
+// TrinaryWeights returns the deployed weight matrix (Out x In row
+// major) of trinary values.
+func (d *Dense) TrinaryWeights() []float64 {
+	w := make([]float64, len(d.Hidden))
+	for i, h := range d.Hidden {
+		w[i] = Trinarize(h)
+	}
+	return w
+}
+
+// NonzeroFraction reports the fraction of deployed weights that are
+// nonzero, a proxy for synapse utilization.
+func (d *Dense) NonzeroFraction() float64 {
+	n := 0
+	for _, h := range d.Hidden {
+		if Trinarize(h) != 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Hidden))
+}

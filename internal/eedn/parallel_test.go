@@ -1,0 +1,171 @@
+package eedn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// parallelTask builds a learnable binary problem.
+func parallelTask(n int, seed int64) (xs, ys [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := make([]float64, 16)
+		label := 1.0
+		if i%2 == 1 {
+			label = -1
+		}
+		for j := 0; j < 8; j++ {
+			lo, hi := j, j+8
+			if label < 0 {
+				lo, hi = hi, lo
+			}
+			x[lo] = 0.7 + 0.3*rng.Float64()
+			x[hi] = 0.3 * rng.Float64()
+		}
+		xs = append(xs, x)
+		ys = append(ys, []float64{label})
+	}
+	return xs, ys
+}
+
+func TestTrainParallelLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, err := NewClassifierNet(16, 32, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := parallelTask(240, 3)
+	cfg := DefaultTrainConfig()
+	cfg.Loss = LossHinge
+	cfg.Epochs = 30
+	if _, err := net.TrainParallel(xs, ys, cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range xs {
+		if (net.Forward(xs[i])[0] >= 0) == (ys[i][0] > 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.9 {
+		t.Errorf("parallel training accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestTrainParallelDeterministicPerWorkerCount(t *testing.T) {
+	build := func() *Network {
+		rng := rand.New(rand.NewSource(7))
+		net, _ := NewClassifierNet(16, 16, 1, rng)
+		return net
+	}
+	xs, ys := parallelTask(64, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Loss = LossHinge
+	cfg.Epochs = 5
+	run := func(workers int) []float64 {
+		net := build()
+		if _, err := net.TrainParallel(xs, ys, cfg, workers); err != nil {
+			t.Fatal(err)
+		}
+		return net.Layers[0].(*Dense).Hidden
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same worker count diverged across runs")
+		}
+	}
+}
+
+func TestTrainParallelMatchesSerialQuality(t *testing.T) {
+	xs, ys := parallelTask(200, 9)
+	cfg := DefaultTrainConfig()
+	cfg.Loss = LossHinge
+	cfg.Epochs = 20
+	accOf := func(workers int) float64 {
+		rng := rand.New(rand.NewSource(11))
+		net, _ := NewClassifierNet(16, 32, 1, rng)
+		var err error
+		if workers <= 1 {
+			_, err = net.Train(xs, ys, cfg)
+		} else {
+			_, err = net.TrainParallel(xs, ys, cfg, workers)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for i := range xs {
+			if (net.Forward(xs[i])[0] >= 0) == (ys[i][0] > 0) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(xs))
+	}
+	serial, par := accOf(1), accOf(4)
+	if math.Abs(serial-par) > 0.15 {
+		t.Errorf("parallel quality diverged: serial=%v parallel=%v", serial, par)
+	}
+}
+
+func TestTrainParallelFallbackAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewClassifierNet(4, 8, 1, rng)
+	xs, ys := parallelTask(8, 1)
+	_ = xs
+	_ = ys
+	// workers <= 1 falls back to Train, which validates dims.
+	if _, err := net.TrainParallel(nil, nil, DefaultTrainConfig(), 1); err == nil {
+		t.Error("empty set should error via fallback")
+	}
+	if _, err := net.TrainParallel([][]float64{{1}}, [][]float64{{1}}, DefaultTrainConfig(), 4); err == nil {
+		t.Error("bad dims should error")
+	}
+}
+
+func BenchmarkTrainSerialWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewClassifierNet(1024, 128, 1, rng)
+	xs := make([][]float64, 64)
+	ys := make([][]float64, 64)
+	for i := range xs {
+		x := make([]float64, 1024)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = []float64{float64(2*(i%2) - 1)}
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.BatchSize = 64
+	cfg.Loss = LossHinge
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = net.Train(xs, ys, cfg)
+	}
+}
+
+func BenchmarkTrainParallel4Wide(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := NewClassifierNet(1024, 128, 1, rng)
+	xs := make([][]float64, 64)
+	ys := make([][]float64, 64)
+	for i := range xs {
+		x := make([]float64, 1024)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = []float64{float64(2*(i%2) - 1)}
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.BatchSize = 64
+	cfg.Loss = LossHinge
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = net.TrainParallel(xs, ys, cfg, 4)
+	}
+}

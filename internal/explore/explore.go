@@ -1,0 +1,134 @@
+// Package explore implements the paper's stated future work:
+// "optimization of the combined Parrot HoG and Eedn network designs
+// for better power efficiency" (Sec. 6). It sweeps the parrot design
+// space — hidden-layer width and input spike precision — measuring
+// orientation accuracy against TrueNorth resource cost and full-HD
+// system power, and extracts the Pareto-efficient designs.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eedn"
+	"repro/internal/parrot"
+	"repro/internal/power"
+)
+
+// Design is one evaluated point of the space.
+type Design struct {
+	Hidden      int
+	SpikeWindow int
+	// Accuracy is the orientation-class accuracy on held-out samples.
+	Accuracy float64
+	// Cores estimates the TrueNorth budget of the extractor network.
+	Cores int
+	// Watts is the full-HD @ 26 fps system power at this precision and
+	// core budget.
+	Watts float64
+	// Pareto marks designs not dominated in (Accuracy up, Watts down).
+	Pareto bool
+}
+
+// Space configures the sweep.
+type Space struct {
+	Widths  []int
+	Windows []int
+	// Samples/Epochs bound per-design training cost.
+	Samples int
+	Epochs  int
+	// ValSamples sizes the held-out evaluation.
+	ValSamples int
+	Seed       int64
+}
+
+// DefaultSpace returns a modest sweep.
+func DefaultSpace() Space {
+	return Space{
+		Widths:  []int{64, 128, 256},
+		Windows: []int{32, 8, 1},
+		Samples: 3000, Epochs: 40, ValSamples: 300, Seed: 3,
+	}
+}
+
+// Sweep trains one parrot per width, evaluates it at every spike
+// window, and returns all design points with the Pareto frontier
+// marked. Designs are ordered by descending accuracy.
+func Sweep(sp Space) ([]Design, error) {
+	if len(sp.Widths) == 0 || len(sp.Windows) == 0 {
+		return nil, fmt.Errorf("explore: empty space")
+	}
+	val, err := parrot.GenerateSamples(sp.ValSamples, sp.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	cellsPerSec := float64(power.FullHDCellsPerFrame()) * power.FullHDFrameRate
+
+	var out []Design
+	for _, width := range sp.Widths {
+		opt := parrot.DefaultTrainOptions()
+		opt.Samples = sp.Samples
+		opt.Hidden = width
+		opt.Train.Epochs = sp.Epochs
+		opt.Seed = sp.Seed
+		trained, _, err := parrot.Train(opt)
+		if err != nil {
+			return nil, fmt.Errorf("explore: width %d: %w", width, err)
+		}
+		cores := eedn.CoreEstimate(trained.Net)
+		for _, window := range sp.Windows {
+			ex, err := parrot.NewExtractor(trained.Net, window, false, nil)
+			if err != nil {
+				return nil, err
+			}
+			est, err := power.SizeTrueNorth("parrot", cores, window, cellsPerSec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Design{
+				Hidden:      width,
+				SpikeWindow: window,
+				Accuracy:    parrot.ClassAccuracy(ex, val),
+				Cores:       cores,
+				Watts:       est.Watts,
+			})
+		}
+	}
+	markPareto(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Accuracy > out[j].Accuracy })
+	return out, nil
+}
+
+// markPareto sets Pareto on every design not dominated by another
+// (higher-or-equal accuracy and strictly lower power, or strictly
+// higher accuracy and lower-or-equal power).
+func markPareto(ds []Design) {
+	for i := range ds {
+		dominated := false
+		for j := range ds {
+			if i == j {
+				continue
+			}
+			better := ds[j].Accuracy >= ds[i].Accuracy && ds[j].Watts <= ds[i].Watts
+			strictly := ds[j].Accuracy > ds[i].Accuracy || ds[j].Watts < ds[i].Watts
+			if better && strictly {
+				dominated = true
+				break
+			}
+		}
+		ds[i].Pareto = !dominated
+	}
+}
+
+// Frontier filters the Pareto-efficient designs, ordered by ascending
+// power.
+func Frontier(ds []Design) []Design {
+	var out []Design
+	for _, d := range ds {
+		if d.Pareto {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Watts < out[j].Watts })
+	return out
+}

@@ -1,0 +1,82 @@
+package explore
+
+import (
+	"testing"
+)
+
+func TestSweepEmptySpace(t *testing.T) {
+	if _, err := Sweep(Space{}); err == nil {
+		t.Error("empty space should error")
+	}
+}
+
+func TestMarkParetoLogic(t *testing.T) {
+	ds := []Design{
+		{Hidden: 1, Accuracy: 0.9, Watts: 10},  // dominated by #2? no: higher W but also check
+		{Hidden: 2, Accuracy: 0.9, Watts: 5},   // dominates #0
+		{Hidden: 3, Accuracy: 0.5, Watts: 1},   // pareto (cheapest)
+		{Hidden: 4, Accuracy: 0.4, Watts: 2},   // dominated by #2
+		{Hidden: 5, Accuracy: 0.95, Watts: 50}, // pareto (most accurate)
+	}
+	markPareto(ds)
+	want := []bool{false, true, true, false, true}
+	for i, d := range ds {
+		if d.Pareto != want[i] {
+			t.Errorf("design %d pareto = %v, want %v", i, d.Pareto, want[i])
+		}
+	}
+	f := Frontier(ds)
+	if len(f) != 3 {
+		t.Fatalf("frontier size %d, want 3", len(f))
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i].Watts < f[i-1].Watts {
+			t.Error("frontier not sorted by watts")
+		}
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains parrots")
+	}
+	sp := Space{
+		Widths:  []int{64, 128},
+		Windows: []int{8, 1},
+		Samples: 800, Epochs: 15, ValSamples: 150, Seed: 2,
+	}
+	ds, err := Sweep(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("designs = %d, want 4", len(ds))
+	}
+	paretoCount := 0
+	for _, d := range ds {
+		t.Logf("hidden=%d window=%d acc=%.3f cores=%d watts=%.3f pareto=%v",
+			d.Hidden, d.SpikeWindow, d.Accuracy, d.Cores, d.Watts, d.Pareto)
+		if d.Cores <= 0 || d.Watts <= 0 {
+			t.Errorf("invalid resources: %+v", d)
+		}
+		if d.Pareto {
+			paretoCount++
+		}
+	}
+	if paretoCount == 0 {
+		t.Error("no pareto designs")
+	}
+	// Wider nets must not cost fewer cores.
+	var c64, c128 int
+	for _, d := range ds {
+		if d.Hidden == 64 {
+			c64 = d.Cores
+		}
+		if d.Hidden == 128 {
+			c128 = d.Cores
+		}
+	}
+	if c128 < c64 {
+		t.Errorf("width 128 (%d cores) cheaper than width 64 (%d)", c128, c64)
+	}
+}

@@ -1,0 +1,122 @@
+package hog
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/imgproc"
+)
+
+// FPGAExtractor models the 16-bit fixed-point HoG accelerator of Advani
+// et al. (the paper's baseline, "FPGA-HoG"): 9 orientation bins over
+// 0-180 deg, weighted voting in magnitude without interpolation,
+// fixed-point gradient/magnitude datapath, 2x2-cell blocks with L2
+// normalization applied in fixed point.
+//
+// It produces descriptors bit-compatible with a Q8.8 datapath: pixels
+// are quantized on ingest, derivatives and magnitudes computed with
+// saturating fixed-point arithmetic, and the orientation bin resolved
+// by a comparison network (fixed.Atan2Bin) rather than an arctangent.
+type FPGAExtractor struct {
+	cfg Config
+	q   fixed.Q
+}
+
+// NewFPGAExtractor returns the fixed-point baseline extractor. The
+// configuration is fixed to the published design (9 unsigned bins,
+// magnitude voting, L2 norm); only window geometry may be customized
+// via opts-style mutation of the returned config is not supported.
+func NewFPGAExtractor(windowW, windowH int) (*FPGAExtractor, error) {
+	cfg := Config{
+		CellSize: 8, NBins: 9, Signed: false,
+		Voting: VoteMagnitude, Norm: NormL2,
+		BlockCells: 2, BlockStride: 1,
+		WindowW: windowW, WindowH: windowH,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FPGAExtractor{cfg: cfg, q: fixed.Q16_8}, nil
+}
+
+// Config returns the extractor's logical HoG configuration.
+func (e *FPGAExtractor) Config() Config { return e.cfg }
+
+// Format returns the fixed-point format of the datapath.
+func (e *FPGAExtractor) Format() fixed.Q { return e.q }
+
+// CellGrid computes per-cell histograms with the fixed-point datapath.
+// Histogram entries are returned as float64 for interchange but every
+// value is exactly representable in the Q format.
+func (e *FPGAExtractor) CellGrid(img *imgproc.Image) [][][]float64 {
+	cs := e.cfg.CellSize
+	cx, cy := img.W/cs, img.H/cs
+	q := e.q
+
+	// Quantize the image once; the FPGA receives 8-bit pixels which we
+	// model as Q8.8 values in [0, 1].
+	pix := make([]int64, img.W*img.H)
+	for i, v := range img.Pix {
+		pix[i] = q.FromFloat(v)
+	}
+	at := func(x, y int) int64 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= img.W {
+			x = img.W - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= img.H {
+			y = img.H - 1
+		}
+		return pix[y*img.W+x]
+	}
+
+	grid := make([][][]float64, cy)
+	for j := 0; j < cy; j++ {
+		grid[j] = make([][]float64, cx)
+		for i := 0; i < cx; i++ {
+			hist := make([]int64, e.cfg.NBins)
+			for y := j * cs; y < (j+1)*cs; y++ {
+				for x := i * cs; x < (i+1)*cs; x++ {
+					ix := q.Sub(at(x+1, y), at(x-1, y))
+					iy := q.Sub(at(x, y-1), at(x, y+1))
+					if ix == 0 && iy == 0 {
+						continue
+					}
+					mag := q.Sqrt(q.Add(q.Mul(ix, ix), q.Mul(iy, iy)))
+					bin := fixed.Atan2Bin(iy, ix, e.cfg.NBins, e.cfg.Signed)
+					hist[bin] = q.Add(hist[bin], mag)
+				}
+			}
+			fh := make([]float64, len(hist))
+			for b, v := range hist {
+				fh[b] = q.ToFloat(v)
+			}
+			grid[j][i] = fh
+		}
+	}
+	return grid
+}
+
+// Descriptor computes the full fixed-point window descriptor. Block L2
+// normalization is performed in floating point (the FPGA design uses a
+// reciprocal-square-root LUT whose error is below the Q8.8 LSB, so the
+// float model is within quantization noise of the RTL).
+func (e *FPGAExtractor) Descriptor(window *imgproc.Image) ([]float64, error) {
+	if window.W != e.cfg.WindowW || window.H != e.cfg.WindowH {
+		return nil, fmt.Errorf("hog: window is %dx%d, want %dx%d",
+			window.W, window.H, e.cfg.WindowW, e.cfg.WindowH)
+	}
+	ref := Extractor{cfg: e.cfg}
+	return ref.DescriptorFromGrid(e.CellGrid(window))
+}
+
+// DescriptorAt mirrors Extractor.DescriptorAt for the fixed-point grid.
+func (e *FPGAExtractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error) {
+	ref := Extractor{cfg: e.cfg}
+	return ref.DescriptorAt(grid, cellX, cellY)
+}

@@ -1,0 +1,417 @@
+// Package hog implements Histogram-of-Oriented-Gradients feature
+// extraction as described in Sec. 2.1 and Sec. 4 of the paper:
+//
+//   - the reference floating-point HoG (Dalal & Triggs): centered
+//     [-1,0,1] derivative mask, magnitude-weighted orientation voting
+//     with bilinear interpolation between bins, 8x8-pixel cells, 2x2-cell
+//     blocks strided by one cell, and L2 block contrast normalization;
+//   - a count-voting, 18-bin variant matching the conventions the
+//     NApprox design adopts (voting in counts, aliasing ignored);
+//   - an FPGA fixed-point model (see fpga.go) reproducing the 16-bit
+//     baseline of Advani et al. that the paper compares against.
+//
+// A 64x128 window with 9 unsigned bins yields 7x15 blocks x 4 cells x 9
+// bins = 3780 features; with 18 signed bins the paper's 7560 features.
+package hog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/imgproc"
+	"repro/internal/stats"
+)
+
+// VotingMode selects how a pixel contributes to its orientation bin.
+type VotingMode int
+
+const (
+	// VoteMagnitudeInterp adds the gradient magnitude, split between the
+	// two nearest bins by bilinear interpolation (the Dalal-Triggs
+	// reference; mitigates orientation aliasing).
+	VoteMagnitudeInterp VotingMode = iota
+	// VoteMagnitude adds the full gradient magnitude to the single
+	// nearest bin (hardware-friendly; aliasing ignored).
+	VoteMagnitude
+	// VoteCount adds 1 to the nearest bin when the magnitude exceeds
+	// the extractor threshold (the NApprox convention: "binned by
+	// count", Table 1).
+	VoteCount
+)
+
+// String implements fmt.Stringer.
+func (v VotingMode) String() string {
+	switch v {
+	case VoteMagnitudeInterp:
+		return "magnitude+interp"
+	case VoteMagnitude:
+		return "magnitude"
+	case VoteCount:
+		return "count"
+	default:
+		return fmt.Sprintf("VotingMode(%d)", int(v))
+	}
+}
+
+// NormMode selects block contrast normalization.
+type NormMode int
+
+const (
+	// NormNone performs no block normalization. The paper elides block
+	// normalization when the classifier runs on TrueNorth (Sec. 5).
+	NormNone NormMode = iota
+	// NormL2 normalizes each block vector v to v/||v||_2 (the paper's
+	// "l2norm").
+	NormL2
+	// NormL1 normalizes to v/(||v||_1 + eps).
+	NormL1
+	// NormL1Sqrt applies L1 normalization then element-wise square
+	// root (Dalal-Triggs "L1-sqrt").
+	NormL1Sqrt
+	// NormL2Hys applies L2, clips elements at 0.2, then renormalizes
+	// (Dalal-Triggs "L2-hys").
+	NormL2Hys
+)
+
+// String implements fmt.Stringer.
+func (n NormMode) String() string {
+	switch n {
+	case NormNone:
+		return "none"
+	case NormL2:
+		return "l2"
+	case NormL1:
+		return "l1"
+	case NormL1Sqrt:
+		return "l1-sqrt"
+	case NormL2Hys:
+		return "l2-hys"
+	default:
+		return fmt.Sprintf("NormMode(%d)", int(n))
+	}
+}
+
+// applyNorm normalizes one block vector in place.
+func applyNorm(mode NormMode, v []float64) {
+	switch mode {
+	case NormL2:
+		stats.Normalize(v)
+	case NormL1, NormL1Sqrt:
+		var sum float64
+		for _, x := range v {
+			sum += math.Abs(x)
+		}
+		if sum == 0 {
+			return
+		}
+		for i := range v {
+			v[i] /= sum
+			if mode == NormL1Sqrt {
+				v[i] = math.Sqrt(math.Abs(v[i]))
+			}
+		}
+	case NormL2Hys:
+		stats.Normalize(v)
+		clipped := false
+		for i := range v {
+			if v[i] > 0.2 {
+				v[i] = 0.2
+				clipped = true
+			}
+		}
+		if clipped {
+			stats.Normalize(v)
+		}
+	}
+}
+
+// Config describes a HoG extractor.
+type Config struct {
+	CellSize    int        // pixels per cell side (8 in the paper)
+	NBins       int        // orientation bins (9 or 18)
+	Signed      bool       // false: bins span 0-180 deg; true: 0-360 deg
+	Voting      VotingMode // orientation voting scheme
+	Norm        NormMode   // block contrast normalization
+	BlockCells  int        // cells per block side (2 in the paper)
+	BlockStride int        // block stride in cells (1 in the paper)
+	WindowW     int        // detection window width in pixels (64)
+	WindowH     int        // detection window height in pixels (128)
+	// CountThreshold is the minimum gradient magnitude for a pixel to
+	// vote under VoteCount; pixels below it are treated as flat.
+	CountThreshold float64
+	// SpatialInterp additionally splits each pixel's vote bilinearly
+	// between the four nearest cells (the full Dalal-Triggs scheme;
+	// the paper's footnote 1 discusses this as the aliasing
+	// mitigation its approximations elide).
+	SpatialInterp bool
+}
+
+// Reference returns the Dalal-Triggs-style configuration used for the
+// FPGA baseline comparison in Fig. 4: 9 unsigned bins, magnitude voting
+// with interpolation, L2 block norm.
+func Reference() Config {
+	return Config{
+		CellSize: 8, NBins: 9, Signed: false,
+		Voting: VoteMagnitudeInterp, Norm: NormL2,
+		BlockCells: 2, BlockStride: 1,
+		WindowW: 64, WindowH: 128,
+		CountThreshold: 0.02,
+	}
+}
+
+// NApproxStyle returns the 18-bin signed count-voting configuration the
+// NApprox design uses ("voting in counts", Table 1), with L2 block norm
+// for the SVM experiments of Fig. 4.
+func NApproxStyle() Config {
+	c := Reference()
+	c.NBins = 18
+	c.Signed = true
+	c.Voting = VoteCount
+	return c
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.CellSize <= 0:
+		return fmt.Errorf("hog: CellSize %d <= 0", c.CellSize)
+	case c.NBins <= 0:
+		return fmt.Errorf("hog: NBins %d <= 0", c.NBins)
+	case c.BlockCells <= 0:
+		return fmt.Errorf("hog: BlockCells %d <= 0", c.BlockCells)
+	case c.BlockStride <= 0:
+		return fmt.Errorf("hog: BlockStride %d <= 0", c.BlockStride)
+	case c.WindowW%c.CellSize != 0 || c.WindowH%c.CellSize != 0:
+		return fmt.Errorf("hog: window %dx%d not a multiple of cell size %d",
+			c.WindowW, c.WindowH, c.CellSize)
+	case c.WindowW/c.CellSize < c.BlockCells || c.WindowH/c.CellSize < c.BlockCells:
+		return fmt.Errorf("hog: window smaller than one block")
+	case c.SpatialInterp && c.Voting == VoteCount:
+		return fmt.Errorf("hog: spatial interpolation needs magnitude voting (counts cannot be split)")
+	}
+	return nil
+}
+
+// CellsX returns the number of cell columns in a window.
+func (c Config) CellsX() int { return c.WindowW / c.CellSize }
+
+// CellsY returns the number of cell rows in a window.
+func (c Config) CellsY() int { return c.WindowH / c.CellSize }
+
+// BlocksX returns the number of block columns in a window.
+func (c Config) BlocksX() int { return (c.CellsX()-c.BlockCells)/c.BlockStride + 1 }
+
+// BlocksY returns the number of block rows in a window.
+func (c Config) BlocksY() int { return (c.CellsY()-c.BlockCells)/c.BlockStride + 1 }
+
+// DescriptorLen returns the length of a window descriptor.
+func (c Config) DescriptorLen() int {
+	return c.BlocksX() * c.BlocksY() * c.BlockCells * c.BlockCells * c.NBins
+}
+
+// Extractor computes HoG descriptors under a fixed configuration.
+type Extractor struct {
+	cfg Config
+}
+
+// NewExtractor validates cfg and returns an extractor.
+func NewExtractor(cfg Config) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extractor{cfg: cfg}, nil
+}
+
+// Config returns the extractor's configuration.
+func (e *Extractor) Config() Config { return e.cfg }
+
+// binOf maps an angle in radians (atan2 convention) to a fractional bin
+// position in [0, NBins). The integer part is the lower bin; the
+// fraction drives bilinear interpolation.
+func (e *Extractor) binOf(ang float64) float64 {
+	deg := ang * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	span := 360.0
+	if !e.cfg.Signed {
+		span = 180.0
+		if deg >= 180 {
+			deg -= 180
+		}
+	}
+	b := deg / (span / float64(e.cfg.NBins))
+	if b >= float64(e.cfg.NBins) {
+		b -= float64(e.cfg.NBins)
+	}
+	return b
+}
+
+// vote adds one pixel's contribution to hist.
+func (e *Extractor) vote(hist []float64, mag, ang float64) {
+	if mag == 0 {
+		return
+	}
+	fb := e.binOf(ang)
+	n := e.cfg.NBins
+	switch e.cfg.Voting {
+	case VoteMagnitudeInterp:
+		lo := int(fb) % n
+		hi := (lo + 1) % n
+		t := fb - math.Floor(fb)
+		hist[lo] += mag * (1 - t)
+		hist[hi] += mag * t
+	case VoteMagnitude:
+		hist[int(fb)%n] += mag
+	case VoteCount:
+		if mag >= e.cfg.CountThreshold {
+			hist[int(fb)%n]++
+		}
+	}
+}
+
+// CellGrid computes the per-cell orientation histograms of img. The
+// image must be at least one cell in each dimension; trailing partial
+// cells are ignored. Gradients at image borders use replicate padding.
+// The result is indexed [cy][cx][bin].
+func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
+	cs := e.cfg.CellSize
+	cx, cy := img.W/cs, img.H/cs
+	g := imgproc.ComputeGradient(img)
+	grid := make([][][]float64, cy)
+	for j := 0; j < cy; j++ {
+		grid[j] = make([][]float64, cx)
+		for i := 0; i < cx; i++ {
+			grid[j][i] = make([]float64, e.cfg.NBins)
+		}
+	}
+	if !e.cfg.SpatialInterp {
+		for j := 0; j < cy; j++ {
+			for i := 0; i < cx; i++ {
+				hist := grid[j][i]
+				for y := j * cs; y < (j+1)*cs; y++ {
+					for x := i * cs; x < (i+1)*cs; x++ {
+						mag, ang := g.MagAngle(x, y)
+						e.vote(hist, mag, ang)
+					}
+				}
+			}
+		}
+		return grid
+	}
+	// Full Dalal-Triggs: each pixel's vote is split bilinearly among
+	// the four cells whose centers surround it.
+	half := float64(cs) / 2
+	for y := 0; y < cy*cs; y++ {
+		for x := 0; x < cx*cs; x++ {
+			mag, ang := g.MagAngle(x, y)
+			if mag == 0 {
+				continue
+			}
+			fx := (float64(x) + 0.5 - half) / float64(cs)
+			fy := (float64(y) + 0.5 - half) / float64(cs)
+			ix := int(math.Floor(fx))
+			iy := int(math.Floor(fy))
+			tx := fx - float64(ix)
+			ty := fy - float64(iy)
+			for _, c := range [4]struct {
+				dx, dy int
+				w      float64
+			}{
+				{0, 0, (1 - tx) * (1 - ty)},
+				{1, 0, tx * (1 - ty)},
+				{0, 1, (1 - tx) * ty},
+				{1, 1, tx * ty},
+			} {
+				gx, gy := ix+c.dx, iy+c.dy
+				if gx < 0 || gx >= cx || gy < 0 || gy >= cy || c.w == 0 {
+					continue
+				}
+				e.vote(grid[gy][gx], mag*c.w, ang)
+			}
+		}
+	}
+	return grid
+}
+
+// CellHistogram computes the histogram of a single cell supplied with a
+// one-pixel border: the input must be (CellSize+2) pixels square, and
+// gradients are evaluated on the interior CellSize x CellSize region so
+// every derivative uses true neighbors (the paper feeds 10x10 pixels
+// per 8x8 cell, Sec. 4).
+func (e *Extractor) CellHistogram(cell *imgproc.Image) ([]float64, error) {
+	cs := e.cfg.CellSize
+	if cell.W != cs+2 || cell.H != cs+2 {
+		return nil, fmt.Errorf("hog: cell must be %dx%d (cell+border), got %dx%d",
+			cs+2, cs+2, cell.W, cell.H)
+	}
+	g := imgproc.ComputeGradient(cell)
+	hist := make([]float64, e.cfg.NBins)
+	for y := 1; y <= cs; y++ {
+		for x := 1; x <= cs; x++ {
+			mag, ang := g.MagAngle(x, y)
+			e.vote(hist, mag, ang)
+		}
+	}
+	return hist, nil
+}
+
+// DescriptorFromGrid assembles a window descriptor from the cell grid
+// of a window-sized image: blocks in raster order, cells within each
+// block in raster order, bins innermost, with per-block normalization.
+func (e *Extractor) DescriptorFromGrid(grid [][][]float64) ([]float64, error) {
+	cx, cy := e.cfg.CellsX(), e.cfg.CellsY()
+	if len(grid) != cy || cy == 0 || len(grid[0]) != cx {
+		return nil, fmt.Errorf("hog: grid is %dx%d, want %dx%d",
+			lenOr0(grid), len(grid), cx, cy)
+	}
+	bc, bs := e.cfg.BlockCells, e.cfg.BlockStride
+	out := make([]float64, 0, e.cfg.DescriptorLen())
+	for by := 0; by+bc <= cy; by += bs {
+		for bx := 0; bx+bc <= cx; bx += bs {
+			start := len(out)
+			for j := 0; j < bc; j++ {
+				for i := 0; i < bc; i++ {
+					out = append(out, grid[by+j][bx+i]...)
+				}
+			}
+			applyNorm(e.cfg.Norm, out[start:])
+		}
+	}
+	return out, nil
+}
+
+func lenOr0(g [][][]float64) int {
+	if len(g) == 0 {
+		return 0
+	}
+	return len(g[0])
+}
+
+// Descriptor computes the full window descriptor of a WindowW x WindowH
+// image.
+func (e *Extractor) Descriptor(window *imgproc.Image) ([]float64, error) {
+	if window.W != e.cfg.WindowW || window.H != e.cfg.WindowH {
+		return nil, fmt.Errorf("hog: window is %dx%d, want %dx%d",
+			window.W, window.H, e.cfg.WindowW, e.cfg.WindowH)
+	}
+	return e.DescriptorFromGrid(e.CellGrid(window))
+}
+
+// DescriptorAt computes the descriptor of the window whose top-left
+// corner is (x0, y0) in img, sharing one gradient computation across
+// windows via the supplied cell grid of the whole image. gridOriginX/Y
+// give the cell coordinates of (x0, y0); the window position must be
+// cell-aligned.
+func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error) {
+	cx, cy := e.cfg.CellsX(), e.cfg.CellsY()
+	if cellY < 0 || cellX < 0 || cellY+cy > len(grid) || len(grid) == 0 || cellX+cx > len(grid[0]) {
+		return nil, fmt.Errorf("hog: window cells [%d:%d)x[%d:%d) outside grid %dx%d",
+			cellX, cellX+cx, cellY, cellY+cy, lenOr0(grid), len(grid))
+	}
+	sub := make([][][]float64, cy)
+	for j := 0; j < cy; j++ {
+		sub[j] = grid[cellY+j][cellX : cellX+cx]
+	}
+	return e.DescriptorFromGrid(sub)
+}

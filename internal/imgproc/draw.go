@@ -1,0 +1,35 @@
+package imgproc
+
+// Drawing helpers for visualizing detections in PGM output.
+
+// DrawRect strokes an axis-aligned rectangle outline of the given
+// brightness and stroke thickness onto m, clipping at the borders.
+func DrawRect(m *Image, x, y, w, h int, v float64, thickness int) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	for t := 0; t < thickness; t++ {
+		drawHLine(m, x, x+w-1, y+t, v)
+		drawHLine(m, x, x+w-1, y+h-1-t, v)
+		drawVLine(m, y, y+h-1, x+t, v)
+		drawVLine(m, y, y+h-1, x+w-1-t, v)
+	}
+}
+
+func drawHLine(m *Image, x0, x1, y int, v float64) {
+	if y < 0 || y >= m.H {
+		return
+	}
+	for x := x0; x <= x1; x++ {
+		m.Set(x, y, v)
+	}
+}
+
+func drawVLine(m *Image, y0, y1, x int, v float64) {
+	if x < 0 || x >= m.W {
+		return
+	}
+	for y := y0; y <= y1; y++ {
+		m.Set(x, y, v)
+	}
+}

@@ -1,0 +1,38 @@
+package imgproc
+
+import "testing"
+
+func TestDrawRectOutline(t *testing.T) {
+	m := New(20, 20)
+	m.Fill(0.5)
+	DrawRect(m, 2, 3, 10, 8, 1, 1)
+	// Corners and edges painted.
+	if m.At(2, 3) != 1 || m.At(11, 3) != 1 || m.At(2, 10) != 1 || m.At(11, 10) != 1 {
+		t.Error("corners not painted")
+	}
+	if m.At(6, 3) != 1 || m.At(2, 7) != 1 {
+		t.Error("edges not painted")
+	}
+	// Interior untouched.
+	if m.At(6, 6) != 0.5 {
+		t.Error("interior painted")
+	}
+}
+
+func TestDrawRectClipsAtBorder(t *testing.T) {
+	m := New(8, 8)
+	DrawRect(m, -5, -5, 30, 30, 1, 2) // mostly off-image
+	// Must not panic; pixels inside remain addressable.
+	_ = m.At(0, 0)
+}
+
+func TestDrawRectThickness(t *testing.T) {
+	m := New(20, 20)
+	DrawRect(m, 4, 4, 12, 12, 1, 2)
+	if m.At(5, 5) != 1 { // second ring
+		t.Error("thickness 2 did not paint inner ring")
+	}
+	if m.At(6, 6) == 1 {
+		t.Error("thickness 2 painted too deep")
+	}
+}

@@ -1,0 +1,243 @@
+// Package imgproc provides the grayscale image substrate used by every
+// feature extractor in the reproduction: image storage, gradient
+// operators, bilinear resizing for the detection scale pyramid, window
+// extraction, and PGM I/O for interoperability.
+//
+// The paper reduces color channels from RGB to grayscale before feature
+// extraction (Sec. 4), so a single-channel float64 image is the common
+// currency of the pipeline.
+package imgproc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Image is a single-channel image with float64 pixels, typically in
+// [0, 1] but not enforced. Pixels are stored row-major.
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// New returns a zeroed W×H image.
+func New(w, h int) *Image {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("imgproc: negative dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// FromSlice wraps pix (row-major, length w*h) as an Image without
+// copying. It returns an error if the length does not match.
+func FromSlice(w, h int, pix []float64) (*Image, error) {
+	if len(pix) != w*h {
+		return nil, fmt.Errorf("imgproc: pixel slice length %d != %d*%d", len(pix), w, h)
+	}
+	return &Image{W: w, H: h, Pix: pix}, nil
+}
+
+// At returns the pixel at (x, y). Coordinates outside the image are
+// clamped to the border (replicate padding), which is the padding the
+// gradient mask uses at image edges.
+func (m *Image) At(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= m.W {
+		x = m.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= m.H {
+		y = m.H - 1
+	}
+	return m.Pix[y*m.W+x]
+}
+
+// Set assigns the pixel at (x, y); out-of-range coordinates are ignored.
+func (m *Image) Set(x, y int, v float64) {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		return
+	}
+	m.Pix[y*m.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (m *Image) Clone() *Image {
+	n := New(m.W, m.H)
+	copy(n.Pix, m.Pix)
+	return n
+}
+
+// SubImage copies the w×h region with top-left corner (x0, y0) into a
+// new image, clamping reads at the borders.
+func (m *Image) SubImage(x0, y0, w, h int) *Image {
+	out := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = m.At(x0+x, y0+y)
+		}
+	}
+	return out
+}
+
+// Fill sets every pixel to v.
+func (m *Image) Fill(v float64) {
+	for i := range m.Pix {
+		m.Pix[i] = v
+	}
+}
+
+// Clamp01 clamps every pixel into [0, 1] in place.
+func (m *Image) Clamp01() {
+	for i, v := range m.Pix {
+		if v < 0 {
+			m.Pix[i] = 0
+		} else if v > 1 {
+			m.Pix[i] = 1
+		}
+	}
+}
+
+// Gradient holds per-pixel centered-difference derivatives: the paper's
+// [-1, 0, 1] mask in x and its transpose in y (Sec. 2.1, step i).
+type Gradient struct {
+	W, H   int
+	Ix, Iy []float64
+}
+
+// ComputeGradient applies the centered 1-D point derivative to m.
+// Border pixels use replicate padding, matching the reference HoG.
+func ComputeGradient(m *Image) *Gradient {
+	g := &Gradient{W: m.W, H: m.H, Ix: make([]float64, m.W*m.H), Iy: make([]float64, m.W*m.H)}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			i := y*m.W + x
+			g.Ix[i] = m.At(x+1, y) - m.At(x-1, y)
+			// Image rows grow downward; Iy = Pixel1 - Pixel7 in the
+			// paper's Fig. 2 means "above minus below".
+			g.Iy[i] = m.At(x, y-1) - m.At(x, y+1)
+		}
+	}
+	return g
+}
+
+// MagAngle returns the gradient magnitude and angle (radians, atan2
+// convention in [-pi, pi]) at pixel (x, y).
+func (g *Gradient) MagAngle(x, y int) (mag, ang float64) {
+	i := y*g.W + x
+	ix, iy := g.Ix[i], g.Iy[i]
+	return math.Hypot(ix, iy), math.Atan2(iy, ix)
+}
+
+// Resize returns m scaled to w×h using bilinear interpolation, the
+// filter used to build the paper's 1.1× detection pyramid.
+func Resize(m *Image, w, h int) *Image {
+	out := New(w, h)
+	if m.W == 0 || m.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	sx := float64(m.W) / float64(w)
+	sy := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			tx := fx - float64(x0)
+			v00 := m.At(x0, y0)
+			v10 := m.At(x0+1, y0)
+			v01 := m.At(x0, y0+1)
+			v11 := m.At(x0+1, y0+1)
+			top := v00 + tx*(v10-v00)
+			bot := v01 + tx*(v11-v01)
+			out.Pix[y*w+x] = top + ty*(bot-top)
+		}
+	}
+	return out
+}
+
+// Pyramid returns successively downscaled copies of m. Each level is
+// smaller by factor (e.g. 1.1), and generation stops when a level would
+// be smaller than minW×minH or after maxLevels levels (maxLevels <= 0
+// means unlimited). Level 0 is m itself (not copied).
+func Pyramid(m *Image, factor float64, minW, minH, maxLevels int) []*Image {
+	if factor <= 1 {
+		panic("imgproc: pyramid factor must be > 1")
+	}
+	levels := []*Image{m}
+	scale := 1.0
+	for {
+		if maxLevels > 0 && len(levels) >= maxLevels {
+			break
+		}
+		scale *= factor
+		w := int(math.Round(float64(m.W) / scale))
+		h := int(math.Round(float64(m.H) / scale))
+		if w < minW || h < minH {
+			break
+		}
+		levels = append(levels, Resize(m, w, h))
+	}
+	return levels
+}
+
+// BoxBlur applies an r-radius separable box blur in place; r <= 0 is a
+// no-op. Borders use replicate padding.
+func BoxBlur(m *Image, r int) {
+	if r <= 0 {
+		return
+	}
+	tmp := New(m.W, m.H)
+	n := float64(2*r + 1)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			var s float64
+			for k := -r; k <= r; k++ {
+				s += m.At(x+k, y)
+			}
+			tmp.Pix[y*m.W+x] = s / n
+		}
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			var s float64
+			for k := -r; k <= r; k++ {
+				s += tmp.At(x, y+k)
+			}
+			m.Pix[y*m.W+x] = s / n
+		}
+	}
+}
+
+// Integral computes the summed-area table of m with an extra zero row
+// and column: S has dimensions (W+1)×(H+1) and
+// S[y][x] = sum of pixels in [0,x)×[0,y).
+func Integral(m *Image) [][]float64 {
+	s := make([][]float64, m.H+1)
+	for y := range s {
+		s[y] = make([]float64, m.W+1)
+	}
+	for y := 1; y <= m.H; y++ {
+		rowSum := 0.0
+		for x := 1; x <= m.W; x++ {
+			rowSum += m.Pix[(y-1)*m.W+(x-1)]
+			s[y][x] = s[y-1][x] + rowSum
+		}
+	}
+	return s
+}
+
+// BoxSum returns the sum of pixels in the rectangle [x0,x1)×[y0,y1)
+// using an integral image produced by Integral.
+func BoxSum(s [][]float64, x0, y0, x1, y1 int) float64 {
+	return s[y1][x1] - s[y0][x1] - s[y1][x0] + s[y0][x0]
+}
+
+// ErrBadDimensions reports invalid geometry arguments.
+var ErrBadDimensions = errors.New("imgproc: bad dimensions")

@@ -1,0 +1,43 @@
+package imgproc
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// WritePNG encodes m as an 8-bit grayscale PNG.
+func WritePNG(w io.Writer, m *Image) error {
+	img := image.NewGray(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			v := m.Pix[y*m.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			img.SetGray(x, y, color.Gray{Y: uint8(v*255 + 0.5)})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// ReadPNG decodes a PNG (any color model; converted to grayscale via
+// the standard luma weights) into an Image with pixels in [0, 1].
+func ReadPNG(r io.Reader) (*Image, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	b := img.Bounds()
+	m := New(b.Dx(), b.Dy())
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			g := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+			m.Pix[y*m.W+x] = float64(g.Y) / 255
+		}
+	}
+	return m, nil
+}

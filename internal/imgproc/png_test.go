@@ -1,0 +1,53 @@
+package imgproc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	m := New(13, 7)
+	for i := range m.Pix {
+		m.Pix[i] = float64(i) / float64(len(m.Pix))
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 13 || got.H != 7 {
+		t.Fatalf("dims %dx%d", got.W, got.H)
+	}
+	for i := range m.Pix {
+		if math.Abs(got.Pix[i]-m.Pix[i]) > 1.0/255 {
+			t.Fatalf("pixel %d: %v vs %v", i, got.Pix[i], m.Pix[i])
+		}
+	}
+}
+
+func TestPNGClampsOutOfRange(t *testing.T) {
+	m := New(2, 1)
+	m.Pix[0] = -3
+	m.Pix[1] = 7
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pix[0] != 0 || got.Pix[1] != 1 {
+		t.Errorf("clamping failed: %v", got.Pix)
+	}
+}
+
+func TestReadPNGGarbage(t *testing.T) {
+	if _, err := ReadPNG(bytes.NewBufferString("not a png")); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -1,0 +1,409 @@
+package napprox
+
+import (
+	"fmt"
+
+	"repro/internal/corelet"
+	"repro/internal/imgproc"
+	"repro/internal/truenorth"
+)
+
+// CellModule is the TrueNorth realization of one NApprox HoG cell
+// extractor: it accepts rate-coded 10x10 pixel inputs and emits pixel
+// votes as spike counts on NBins output pins. The structure follows
+// Table 1:
+//
+//	splitter  - multicasts each pixel line to its four neighbor roles
+//	project   - per (pixel, direction) neurons accumulate the exact
+//	            projection A_k*Ix + B_k*Iy via typed axons and emit a
+//	            spike per RateThreshold units of drive
+//	            (pattern matching + inner product)
+//	wta       - a first-spike race with lateral inhibition picks the
+//	            dominant direction per pixel (comparison); bins whose
+//	            crossing falls within the inhibition latency of the
+//	            winner also vote, which the software model's VoteRace
+//	            mode reproduces analytically
+//	tally     - a two-level counter tree aggregates votes per bin with
+//	            one axon per (pixel, bin) so no simultaneous votes are
+//	            ever lost (histogram by count)
+//
+// One cell is processed per coding window; between cells the simulator
+// is reset (the hardware pipeline instead overlaps windows, which the
+// throughput model accounts for analytically).
+type CellModule struct {
+	// Model is the built network.
+	Model *truenorth.Model
+	// InputPins maps each of the 10x10 input pixels (row-major) to its
+	// external input pin.
+	InputPins []int
+	// Window is the spike-coding window in ticks.
+	Window int
+	// DrainTicks is the extra simulation time after the window for
+	// in-flight races and tally drains to conclude.
+	DrainTicks int
+	// Usage reports cores per sub-corelet.
+	Usage corelet.Usage
+	// NBins is the histogram size.
+	NBins int
+
+	cellSize int
+}
+
+// inhibitWeight is the lateral inhibition strength applied to race
+// neurons once a pixel's winner has fired.
+const inhibitWeight = -1024
+
+// BuildCellModule constructs the TrueNorth cell extractor for cfg.
+// cfg.SpikeWindow must be positive (the hardware is inherently
+// quantized) and cfg.NBins at most 18 so a pixel's WTA fits one core
+// alongside its twin and pilot neurons.
+func BuildCellModule(cfg Config) (*CellModule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SpikeWindow <= 0 {
+		return nil, fmt.Errorf("napprox: hardware module needs SpikeWindow > 0")
+	}
+	if cfg.WeightScale <= 0 {
+		return nil, fmt.Errorf("napprox: hardware module needs integer WeightScale")
+	}
+	if cfg.NBins > 18 {
+		return nil, fmt.Errorf("napprox: hardware module supports at most 18 bins, got %d", cfg.NBins)
+	}
+	cs := cfg.CellSize
+	side := cs + 2
+	nPix := side * side
+	nInterior := cs * cs
+	aW, bW := cfg.DirectionWeights()
+
+	b := corelet.NewBuilder()
+	b.Begin("napprox")
+
+	type loc struct{ core, base int }
+
+	// --- project stage -------------------------------------------------
+	// Each pixel occupies 4 typed axons (neighbor roles r,l,u,d) and
+	// NBins neurons that accumulate the direction projections exactly.
+	b.Begin("project")
+	pixPerProjCore := truenorth.CoreSize / cfg.NBins
+	if pixPerProjCore*4 > truenorth.CoreSize {
+		pixPerProjCore = truenorth.CoreSize / 4
+	}
+	projLoc := make([]loc, nInterior)
+	for pi := 0; pi < nInterior; {
+		n := pixPerProjCore
+		if pi+n > nInterior {
+			n = nInterior - pi
+		}
+		core, err := b.NewCore(4*n, cfg.NBins*n)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < n; k++ {
+			projLoc[pi+k] = loc{core: core.ID, base: k}
+			for role := 0; role < 4; role++ {
+				if err := core.SetAxonType(4*k+role, role); err != nil {
+					return nil, err
+				}
+			}
+			for bin := 0; bin < cfg.NBins; bin++ {
+				p := truenorth.DefaultNeuron()
+				p.Weights = [truenorth.NumAxonTypes]int32{
+					int32(aW[bin]), -int32(aW[bin]), int32(bW[bin]), -int32(bW[bin]),
+				}
+				p.Threshold = RateThreshold
+				p.ResetMode = truenorth.ResetSubtract
+				p.Floor = -1 << 24
+				if err := core.SetNeuron(k*cfg.NBins+bin, p); err != nil {
+					return nil, err
+				}
+				for role := 0; role < 4; role++ {
+					if p.Weights[role] == 0 {
+						continue
+					}
+					if err := core.Connect(4*k+role, k*cfg.NBins+bin, true); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		pi += n
+	}
+	b.End()
+
+	// --- wta stage -----------------------------------------------------
+	// Per pixel: NBins race neurons + NBins twins + 1 pilot; axons:
+	// NBins projection inputs (type 0) and 1 inhibition line (type 1).
+	// The winner's twin drives the inhibition line directly (one-tick
+	// latency) and the pilot then sustains it for the rest of the run.
+	b.Begin("wta")
+	neuronsPerPix := 2*cfg.NBins + 1
+	axonsPerPix := cfg.NBins + 1
+	pixPerWtaCore := truenorth.CoreSize / neuronsPerPix
+	if pixPerWtaCore*axonsPerPix > truenorth.CoreSize {
+		pixPerWtaCore = truenorth.CoreSize / axonsPerPix
+	}
+	wtaLoc := make([]loc, nInterior)
+	for pi := 0; pi < nInterior; {
+		n := pixPerWtaCore
+		if pi+n > nInterior {
+			n = nInterior - pi
+		}
+		core, err := b.NewCore(axonsPerPix*n, neuronsPerPix*n)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < n; k++ {
+			wtaLoc[pi+k] = loc{core: core.ID, base: k}
+			axBase := axonsPerPix * k
+			inhibAxon := axBase + cfg.NBins
+			for bin := 0; bin < cfg.NBins; bin++ {
+				if err := core.SetAxonType(axBase+bin, 0); err != nil {
+					return nil, err
+				}
+			}
+			if err := core.SetAxonType(inhibAxon, 1); err != nil {
+				return nil, err
+			}
+			race := truenorth.DefaultNeuron()
+			race.Weights = [truenorth.NumAxonTypes]int32{1, inhibitWeight, 0, 0}
+			race.Threshold = RaceSpikes
+			race.Reset = 0
+			race.Floor = -1 << 24
+			nBase := neuronsPerPix * k
+			for bin := 0; bin < cfg.NBins; bin++ {
+				for _, offset := range []int{0, cfg.NBins} { // primary, twin
+					nn := nBase + offset + bin
+					if err := core.SetNeuron(nn, race); err != nil {
+						return nil, err
+					}
+					if err := core.Connect(axBase+bin, nn, true); err != nil {
+						return nil, err
+					}
+					if err := core.Connect(inhibAxon, nn, true); err != nil {
+						return nil, err
+					}
+				}
+			}
+			pilot := truenorth.DefaultNeuron()
+			pilot.Weights = [truenorth.NumAxonTypes]int32{0, 1, 0, 0}
+			pilot.Threshold = 1
+			pilot.Reset = 0
+			pilot.Floor = -4
+			pilotN := nBase + 2*cfg.NBins
+			if err := core.SetNeuron(pilotN, pilot); err != nil {
+				return nil, err
+			}
+			if err := core.Connect(inhibAxon, pilotN, true); err != nil {
+				return nil, err
+			}
+		}
+		pi += n
+	}
+	b.End()
+
+	// --- tally stage -----------------------------------------------------
+	// Level 1: one axon per (pixel, bin) vote line, partial per-bin sums
+	// per pixel group. Level 2: per-bin totals over groups. Counts are
+	// exact because votes land on private axons and the ResetSubtract
+	// counters preserve residues while draining at one spike per tick.
+	b.Begin("tally")
+	pixPerTallyCore := truenorth.CoreSize / cfg.NBins
+	nTallyGroups := (nInterior + pixPerTallyCore - 1) / pixPerTallyCore
+	tallyL1 := make([]*truenorth.Core, nTallyGroups)
+	counter := truenorth.DefaultNeuron()
+	counter.Weights = [truenorth.NumAxonTypes]int32{1, 0, 0, 0}
+	counter.Threshold = 1
+	counter.ResetMode = truenorth.ResetSubtract
+	voteAxon := make([]loc, nInterior) // per pixel: level-1 core + axon base
+	for g := 0; g < nTallyGroups; g++ {
+		lo := g * pixPerTallyCore
+		hi := lo + pixPerTallyCore
+		if hi > nInterior {
+			hi = nInterior
+		}
+		core, err := b.NewCore((hi-lo)*cfg.NBins, cfg.NBins)
+		if err != nil {
+			return nil, err
+		}
+		tallyL1[g] = core
+		for bin := 0; bin < cfg.NBins; bin++ {
+			if err := core.SetNeuron(bin, counter); err != nil {
+				return nil, err
+			}
+		}
+		for p := lo; p < hi; p++ {
+			base := (p - lo) * cfg.NBins
+			voteAxon[p] = loc{core: core.ID, base: base}
+			for bin := 0; bin < cfg.NBins; bin++ {
+				if err := core.SetAxonType(base+bin, 0); err != nil {
+					return nil, err
+				}
+				if err := core.Connect(base+bin, bin, true); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	tallyL2, err := b.NewCore(nTallyGroups*cfg.NBins, cfg.NBins)
+	if err != nil {
+		return nil, err
+	}
+	for bin := 0; bin < cfg.NBins; bin++ {
+		if err := tallyL2.SetNeuron(bin, counter); err != nil {
+			return nil, err
+		}
+	}
+	for g := 0; g < nTallyGroups; g++ {
+		for bin := 0; bin < cfg.NBins; bin++ {
+			a := g*cfg.NBins + bin
+			if err := tallyL2.SetAxonType(a, 0); err != nil {
+				return nil, err
+			}
+			if err := tallyL2.Connect(a, bin, true); err != nil {
+				return nil, err
+			}
+			if err := b.Route(tallyL1[g].ID, bin,
+				truenorth.Target{Core: tallyL2.ID, Axon: a}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.End()
+
+	// --- splitter stage --------------------------------------------------
+	// One axon per border-inclusive pixel, one repeater neuron per
+	// (neighbor pixel, role) pair: 4 per interior pixel.
+	b.Begin("splitter")
+	splitCore, err := b.NewCore(nPix, 4*nInterior)
+	if err != nil {
+		return nil, err
+	}
+	rep := truenorth.DefaultNeuron()
+	rep.Weights = [truenorth.NumAxonTypes]int32{1, 0, 0, 0}
+	rep.Threshold = 1
+	nextRep := 0
+	offs := [4][2]int{{1, 0}, {-1, 0}, {0, -1}, {0, 1}} // r, l, u, d
+	for iy := 1; iy <= cs; iy++ {
+		for ix := 1; ix <= cs; ix++ {
+			pIdx := (iy-1)*cs + (ix - 1)
+			for role := 0; role < 4; role++ {
+				qx, qy := ix+offs[role][0], iy+offs[role][1]
+				qAxon := qy*side + qx
+				if err := splitCore.SetNeuron(nextRep, rep); err != nil {
+					return nil, err
+				}
+				if err := splitCore.Connect(qAxon, nextRep, true); err != nil {
+					return nil, err
+				}
+				pl := projLoc[pIdx]
+				if err := b.Route(splitCore.ID, nextRep,
+					truenorth.Target{Core: pl.core, Axon: 4*pl.base + role}); err != nil {
+					return nil, err
+				}
+				nextRep++
+			}
+		}
+	}
+	b.End()
+
+	// --- inter-stage routing ----------------------------------------------
+	for pIdx := 0; pIdx < nInterior; pIdx++ {
+		pl, wl := projLoc[pIdx], wtaLoc[pIdx]
+		for bin := 0; bin < cfg.NBins; bin++ {
+			if err := b.Route(pl.core, pl.base*cfg.NBins+bin,
+				truenorth.Target{Core: wl.core, Axon: wl.base*axonsPerPix + bin}); err != nil {
+				return nil, err
+			}
+		}
+		nBase := wl.base * neuronsPerPix
+		inhibAxon := wl.base*axonsPerPix + cfg.NBins
+		va := voteAxon[pIdx]
+		for bin := 0; bin < cfg.NBins; bin++ {
+			// Primary race -> private vote axon on the level-1 tally.
+			if err := b.Route(wl.core, nBase+bin,
+				truenorth.Target{Core: va.core, Axon: va.base + bin}); err != nil {
+				return nil, err
+			}
+			// Twin -> the pixel's inhibition line.
+			if err := b.Route(wl.core, nBase+cfg.NBins+bin,
+				truenorth.Target{Core: wl.core, Axon: inhibAxon}); err != nil {
+				return nil, err
+			}
+		}
+		// Pilot sustains the inhibition line.
+		if err := b.Route(wl.core, nBase+2*cfg.NBins,
+			truenorth.Target{Core: wl.core, Axon: inhibAxon}); err != nil {
+			return nil, err
+		}
+	}
+	for bin := 0; bin < cfg.NBins; bin++ {
+		if err := b.Route(tallyL2.ID, bin,
+			truenorth.Target{Core: truenorth.ExternalCore, Axon: bin}); err != nil {
+			return nil, err
+		}
+	}
+	b.End()
+
+	pins := make([]int, nPix)
+	for i := range pins {
+		pin, err := b.Input(splitCore.ID, i)
+		if err != nil {
+			return nil, err
+		}
+		pins[i] = pin
+	}
+
+	model, err := b.Model()
+	if err != nil {
+		return nil, err
+	}
+	return &CellModule{
+		Model:      model,
+		InputPins:  pins,
+		Window:     cfg.SpikeWindow,
+		DrainTicks: cfg.SpikeWindow + 64,
+		Usage:      b.Usage(),
+		NBins:      cfg.NBins,
+		cellSize:   cs,
+	}, nil
+}
+
+// Extract runs the module on one (CellSize+2)-square cell image and
+// returns the per-bin vote counts. The simulator must have been built
+// from m.Model; it is reset before the run.
+func (m *CellModule) Extract(sim *truenorth.Simulator, cell *imgproc.Image) ([]float64, error) {
+	side := m.cellSize + 2
+	if cell.W != side || cell.H != side {
+		return nil, fmt.Errorf("napprox: cell must be %dx%d, got %dx%d",
+			side, side, cell.W, cell.H)
+	}
+	sim.Reset()
+	trains := make([][]bool, side*side)
+	for i, v := range cell.Pix {
+		trains[i] = truenorth.RateEncode(v, m.Window)
+	}
+	counts, err := sim.Run(m.Window+m.DrainTicks, func(t int) []int {
+		if t >= m.Window {
+			return nil
+		}
+		var pins []int
+		for i, tr := range trains {
+			if tr[t] {
+				pins = append(pins, m.InputPins[i])
+			}
+		}
+		return pins
+	})
+	if err != nil {
+		return nil, err
+	}
+	hist := make([]float64, m.NBins)
+	for bin := 0; bin < m.NBins; bin++ {
+		hist[bin] = float64(counts[bin])
+	}
+	return hist, nil
+}
+
+// Cores returns the number of TrueNorth cores the module occupies.
+func (m *CellModule) Cores() int { return m.Model.NumCores() }

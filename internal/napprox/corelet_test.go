@@ -1,0 +1,180 @@
+package napprox
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+	"repro/internal/stats"
+	"repro/internal/truenorth"
+)
+
+func buildModule(t testing.TB) (*CellModule, *truenorth.Simulator) {
+	t.Helper()
+	mod, err := BuildCellModule(TrueNorthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := truenorth.NewSimulator(mod.Model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, sim
+}
+
+func TestBuildCellModuleStructure(t *testing.T) {
+	mod, _ := buildModule(t)
+	if len(mod.InputPins) != 100 {
+		t.Errorf("input pins = %d, want 100", len(mod.InputPins))
+	}
+	if mod.Model.NumOutputs() != 18 {
+		t.Errorf("output pins = %d, want 18", mod.Model.NumOutputs())
+	}
+	// The module should be in the ballpark of the paper's 26-core
+	// figure: more than a handful, fewer than a chip's worth.
+	if mod.Cores() < 8 || mod.Cores() > 40 {
+		t.Errorf("module cores = %d, outside plausible range", mod.Cores())
+	}
+	u := mod.Usage
+	for _, path := range []string{"napprox/splitter", "napprox/project", "napprox/wta", "napprox/tally"} {
+		if u[path] == 0 {
+			t.Errorf("no cores attributed to %s: %v", path, u)
+		}
+	}
+}
+
+func TestBuildCellModuleRejectsBadConfig(t *testing.T) {
+	cfg := FullPrecision() // SpikeWindow 0
+	if _, err := BuildCellModule(cfg); err == nil {
+		t.Error("full precision should not build hardware")
+	}
+	cfg = TrueNorthConfig()
+	cfg.NBins = 32
+	if _, err := BuildCellModule(cfg); err == nil {
+		t.Error("32 bins should exceed the WTA core budget")
+	}
+	cfg = TrueNorthConfig()
+	cfg.WeightScale = 0
+	if _, err := BuildCellModule(cfg); err == nil {
+		t.Error("zero weight scale should be rejected")
+	}
+}
+
+func TestModuleFlatCellSilent(t *testing.T) {
+	mod, sim := buildModule(t)
+	cell := imgproc.New(10, 10)
+	cell.Fill(0.5)
+	h, err := mod.Extract(sim, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bin, v := range h {
+		if v != 0 {
+			t.Errorf("flat cell produced %v votes in bin %d", v, bin)
+		}
+	}
+}
+
+func TestModuleRampVotesDominantBin(t *testing.T) {
+	mod, sim := buildModule(t)
+	for _, deg := range []float64{0, 90, 180, 270} {
+		h, err := mod.Extract(sim, rampCell(deg, 0.15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same-tick race ties co-vote adjacent bins, so require the
+		// nearest bin to be among the winners rather than the unique
+		// argmax, and the vote mass to stay local to it.
+		want := nearestBin(deg)
+		peak := h[stats.ArgMax(h)]
+		if peak < 32 {
+			t.Errorf("ramp %v deg: weak peak %v (hist %v)", deg, peak, h)
+		}
+		if h[want] < 0.8*peak {
+			t.Errorf("ramp %v deg: nearest bin %d has %v votes, peak %v (hist %v)",
+				deg, want, h[want], peak, h)
+		}
+		for k, v := range h {
+			dist := (k - want + 18) % 18
+			if dist > 9 {
+				dist = 18 - dist
+			}
+			if v > 0 && dist > 2 {
+				t.Errorf("ramp %v deg: votes leaked to distant bin %d (hist %v)", deg, k, h)
+			}
+		}
+	}
+}
+
+func TestModuleExtractSizeError(t *testing.T) {
+	mod, sim := buildModule(t)
+	if _, err := mod.Extract(sim, imgproc.New(8, 8)); err == nil {
+		t.Error("wrong cell size should error")
+	}
+}
+
+// TestNApproxHWSWCorrelation reproduces the paper's Sec. 3.1
+// validation: "the outputs of the hardware implementation and software
+// model achieved over 99.5% correlation when configured to operate
+// with the same quantization width", here on synthetic training cells.
+func TestNApproxHWSWCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long correlation run")
+	}
+	mod, sim := buildModule(t)
+	cfg := TrueNorthConfig()
+	cfg.Mode = VoteRace // the model that operates equivalently to the HW
+	sw, err := New(cfg, hog.NormNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var hw, ref []float64
+	const cells = 120
+	for i := 0; i < cells; i++ {
+		cell := imgproc.New(10, 10)
+		switch i % 3 {
+		case 0: // oriented ramp
+			c2 := rampCell(rng.Float64()*360, 0.05+rng.Float64()*0.2)
+			copy(cell.Pix, c2.Pix)
+		case 1: // ramp + noise
+			c2 := rampCell(rng.Float64()*360, 0.05+rng.Float64()*0.15)
+			for j := range cell.Pix {
+				cell.Pix[j] = c2.Pix[j] + (rng.Float64()-0.5)*0.1
+			}
+		default: // textured noise
+			for j := range cell.Pix {
+				cell.Pix[j] = rng.Float64()
+			}
+		}
+		cell.Clamp01()
+		hh, err := mod.Extract(sim, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := sw.CellHistogram(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw = append(hw, hh...)
+		ref = append(ref, hs...)
+	}
+	r, err := stats.Pearson(hw, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("HW/SW correlation over %d cells: %.4f", cells, r)
+	if r < 0.95 {
+		t.Errorf("hardware/software correlation = %.4f, want >= 0.95", r)
+	}
+}
+
+func BenchmarkModuleExtract(b *testing.B) {
+	mod, sim := buildModule(b)
+	cell := rampCell(45, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = mod.Extract(sim, cell)
+	}
+}

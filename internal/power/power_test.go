@@ -1,0 +1,124 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPyramidLevelsMatchPaper(t *testing.T) {
+	levels := PyramidLevels(1920, 1080, 1.5, 6)
+	want := [][2]int{{240, 135}, {160, 90}, {106, 60}, {71, 40}, {47, 26}, {31, 17}}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("level %d = %v, want %v", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestFullHDCellsPerFrame(t *testing.T) {
+	// Sec. 5.2: "a total of 57749 cells per image".
+	if got := FullHDCellsPerFrame(); got != 57749 {
+		t.Errorf("cells per frame = %d, want 57749", got)
+	}
+}
+
+func TestModuleThroughputs(t *testing.T) {
+	// Sec. 5.2: NApprox at 64-spike sustains ~15 cells/s; parrot at
+	// 32-spike 31 cells/s, at 1-spike 1000 cells/s.
+	if got := ModuleThroughput(64); math.Abs(got-15.625) > 1e-9 {
+		t.Errorf("64-spike throughput = %v", got)
+	}
+	if got := ModuleThroughput(32); math.Abs(got-31.25) > 1e-9 {
+		t.Errorf("32-spike throughput = %v", got)
+	}
+	if got := ModuleThroughput(1); got != 1000 {
+		t.Errorf("1-spike throughput = %v", got)
+	}
+	if got := ModuleThroughput(0); got != 0 {
+		t.Errorf("0 window throughput = %v", got)
+	}
+}
+
+func TestSizeTrueNorthErrors(t *testing.T) {
+	if _, err := SizeTrueNorth("x", 0, 64, 100); err == nil {
+		t.Error("0 cores should error")
+	}
+	if _, err := SizeTrueNorth("x", 26, 0, 100); err == nil {
+		t.Error("0 window should error")
+	}
+	if _, err := SizeTrueNorth("x", 26, 64, 0); err == nil {
+		t.Error("0 throughput should error")
+	}
+}
+
+func TestTable2MatchesPaperValues(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// FPGA rows are the measured constants.
+	if rows[0].Watts != 1.12 || rows[1].Watts != 8.6 {
+		t.Errorf("FPGA rows: %v %v", rows[0], rows[1])
+	}
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*want
+	}
+	// NApprox ~= 40 W (~650 chips in the paper's rounding).
+	if !within(rows[2].Watts, 40, 0.05) {
+		t.Errorf("NApprox power = %v W, want ~40", rows[2].Watts)
+	}
+	// Parrot 32-spike ~= 6.15 W.
+	if !within(rows[3].Watts, 6.15, 0.05) {
+		t.Errorf("Parrot 32-spike = %v W, want ~6.15", rows[3].Watts)
+	}
+	// Parrot 4-spike ~= 768 mW.
+	if !within(rows[4].Watts, 0.768, 0.05) {
+		t.Errorf("Parrot 4-spike = %v W, want ~0.768", rows[4].Watts)
+	}
+	// Parrot 1-spike ~= 192 mW.
+	if !within(rows[5].Watts, 0.192, 0.05) {
+		t.Errorf("Parrot 1-spike = %v W, want ~0.192", rows[5].Watts)
+	}
+}
+
+func TestPowerRatiosMatchHeadline(t *testing.T) {
+	lo, hi, err := PowerRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abstract: "more power efficient ... by a factor of 6.5x-208x".
+	if math.Abs(lo-6.5) > 0.5 {
+		t.Errorf("low ratio = %v, want ~6.5", lo)
+	}
+	if math.Abs(hi-208) > 8 {
+		t.Errorf("high ratio = %v, want ~208", hi)
+	}
+}
+
+func TestTable2WithCustomModules(t *testing.T) {
+	// Our own corelet is ~23 cores; the table must scale accordingly.
+	rows, err := Table2With(23, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, _ := Table2()
+	if rows[2].Watts >= std[2].Watts {
+		t.Errorf("smaller module should cost less power: %v vs %v",
+			rows[2].Watts, std[2].Watts)
+	}
+	if _, err := Table2With(0, 8); err == nil {
+		t.Error("invalid cores should error")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Table2()
+	}
+}

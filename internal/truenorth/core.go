@@ -1,0 +1,265 @@
+// Package truenorth implements a tick-accurate software model of the
+// IBM Neurosynaptic System (TrueNorth) sufficient for the paper's
+// experiments: neurosynaptic cores with 256 axons x 256 neurons joined
+// by a 1-bit crossbar, four axon types indexing a per-neuron signed
+// weight table, leak/threshold/reset dynamics with optional stochastic
+// thresholds, inter-core spike routing with one-tick delay, external
+// input/output pins, and spike-count/stochastic value coding.
+//
+// The paper's methodology itself runs on IBM's validated 1:1 simulator
+// rather than silicon for design exploration; this package plays that
+// role here. The digital neuron dynamics follow Cassidy et al. (IJCNN
+// 2013), restricted to the features the paper's designs use.
+package truenorth
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CoreSize is the number of axons and neurons in a physical TrueNorth
+// core. Cores in this model may be built smaller for tests, but
+// resource accounting always charges full physical cores.
+const CoreSize = 256
+
+// NumAxonTypes is the number of distinct axon types; each neuron holds
+// one signed weight per type.
+const NumAxonTypes = 4
+
+// ChipCores is the number of neurosynaptic cores on one TrueNorth chip.
+const ChipCores = 4096
+
+// NeuronParams configures one neuron's dynamics.
+type NeuronParams struct {
+	// Weights holds the synaptic weight applied for each axon type
+	// when the crossbar bit is set.
+	Weights [NumAxonTypes]int32
+	// Leak is added to the membrane potential every tick.
+	Leak int32
+	// Threshold is the firing threshold alpha: the neuron fires when
+	// V >= Threshold (+ noise when Stochastic).
+	Threshold int32
+	// Reset is the membrane potential after firing when ResetMode is
+	// ResetToValue.
+	Reset int32
+	// ResetMode selects what happens to the membrane on firing.
+	ResetMode ResetMode
+	// Floor is the lower saturation bound of the membrane potential.
+	Floor int32
+	// Stochastic enables the stochastic threshold: a uniform random
+	// value in [0, NoiseMask] is added to the threshold each tick.
+	Stochastic bool
+	// NoiseMask bounds the stochastic threshold noise.
+	NoiseMask int32
+}
+
+// ResetMode selects the membrane reset behaviour on firing, following
+// the two modes of the TrueNorth digital neuron (Cassidy et al. 2013)
+// the paper's designs use.
+type ResetMode int
+
+const (
+	// ResetToValue sets V to the Reset parameter after firing.
+	ResetToValue ResetMode = iota
+	// ResetSubtract subtracts the threshold from V after firing,
+	// preserving the residue; this makes the output spike count over a
+	// window a linear (floor) function of the integrated input, the
+	// idiom rate-coded arithmetic corelets rely on.
+	ResetSubtract
+)
+
+// DefaultNeuron returns sane defaults: unit weights for type 0,
+// threshold 1, reset to 0, floor far below zero.
+func DefaultNeuron() NeuronParams {
+	return NeuronParams{
+		Weights:   [NumAxonTypes]int32{1, -1, 2, -2},
+		Threshold: 1,
+		Floor:     -1 << 20,
+	}
+}
+
+// Core is one neurosynaptic core: a crossbar from Axons input lines to
+// Neurons output lines. The crossbar is stored axon-major as bitsets
+// over neurons so that integration walks only the spiking axons.
+type Core struct {
+	ID      int
+	Axons   int
+	Neurons int
+
+	axonType []uint8   // per-axon type, 0..NumAxonTypes-1
+	conn     [][]uint64 // [axon][neuron/64] connectivity bitset
+	params   []NeuronParams
+	v        []int32 // membrane potentials
+
+	// synEvents counts synaptic events (spike x connected synapse)
+	// processed, for the power model.
+	synEvents uint64
+	// fireEvents counts neuron firings.
+	fireEvents uint64
+}
+
+// NewCore returns a core with the given geometry. Axons and neurons
+// must be in (0, CoreSize]. All neurons start with DefaultNeuron
+// parameters and an empty crossbar.
+func NewCore(id, axons, neurons int) (*Core, error) {
+	if axons <= 0 || axons > CoreSize || neurons <= 0 || neurons > CoreSize {
+		return nil, fmt.Errorf("truenorth: core geometry %dx%d outside (0,%d]",
+			axons, neurons, CoreSize)
+	}
+	words := (neurons + 63) / 64
+	c := &Core{
+		ID: id, Axons: axons, Neurons: neurons,
+		axonType: make([]uint8, axons),
+		conn:     make([][]uint64, axons),
+		params:   make([]NeuronParams, neurons),
+		v:        make([]int32, neurons),
+	}
+	for a := range c.conn {
+		c.conn[a] = make([]uint64, words)
+	}
+	def := DefaultNeuron()
+	for n := range c.params {
+		c.params[n] = def
+	}
+	return c, nil
+}
+
+// SetAxonType assigns axon a the type t.
+func (c *Core) SetAxonType(a int, t int) error {
+	if a < 0 || a >= c.Axons {
+		return fmt.Errorf("truenorth: axon %d out of range [0,%d)", a, c.Axons)
+	}
+	if t < 0 || t >= NumAxonTypes {
+		return fmt.Errorf("truenorth: axon type %d out of range [0,%d)", t, NumAxonTypes)
+	}
+	c.axonType[a] = uint8(t)
+	return nil
+}
+
+// AxonType returns axon a's type.
+func (c *Core) AxonType(a int) int { return int(c.axonType[a]) }
+
+// SetNeuron configures neuron n.
+func (c *Core) SetNeuron(n int, p NeuronParams) error {
+	if n < 0 || n >= c.Neurons {
+		return fmt.Errorf("truenorth: neuron %d out of range [0,%d)", n, c.Neurons)
+	}
+	c.params[n] = p
+	return nil
+}
+
+// Neuron returns neuron n's parameters.
+func (c *Core) Neuron(n int) NeuronParams { return c.params[n] }
+
+// Connect sets or clears the crossbar bit from axon a to neuron n.
+func (c *Core) Connect(a, n int, connected bool) error {
+	if a < 0 || a >= c.Axons || n < 0 || n >= c.Neurons {
+		return fmt.Errorf("truenorth: synapse (%d,%d) out of range %dx%d",
+			a, n, c.Axons, c.Neurons)
+	}
+	w, b := n/64, uint(n%64)
+	if connected {
+		c.conn[a][w] |= 1 << b
+	} else {
+		c.conn[a][w] &^= 1 << b
+	}
+	return nil
+}
+
+// Connected reports the crossbar bit from axon a to neuron n.
+func (c *Core) Connected(a, n int) bool {
+	return c.conn[a][n/64]&(1<<uint(n%64)) != 0
+}
+
+// Potential returns neuron n's membrane potential (for tests and
+// debugging).
+func (c *Core) Potential(n int) int32 { return c.v[n] }
+
+// SetPotential sets neuron n's membrane potential.
+func (c *Core) SetPotential(n int, v int32) { c.v[n] = v }
+
+// Integrate applies one tick's worth of incoming spikes: for every
+// axon whose bit is set in spikes (a bitset over axons), every
+// connected neuron accumulates that neuron's weight for the axon's
+// type. Leak and threshold evaluation happen in Fire.
+func (c *Core) Integrate(spikes []uint64) {
+	for w, word := range spikes {
+		for word != 0 {
+			bit := word & (-word)
+			a := w*64 + trailingZeros64(word)
+			word ^= bit
+			if a >= c.Axons {
+				break
+			}
+			t := c.axonType[a]
+			row := c.conn[a]
+			for nw, nword := range row {
+				for nword != 0 {
+					nbit := nword & (-nword)
+					n := nw*64 + trailingZeros64(nword)
+					nword ^= nbit
+					c.v[n] += c.params[n].Weights[t]
+					c.synEvents++
+				}
+			}
+		}
+	}
+}
+
+// Fire applies leak, evaluates thresholds, resets fired neurons and
+// returns the indices of neurons that fired this tick. rand supplies
+// stochastic threshold noise; it may be nil when no neuron on the core
+// is stochastic.
+func (c *Core) Fire(rand RandSource) []int {
+	var fired []int
+	for n := range c.params {
+		p := &c.params[n]
+		v := c.v[n] + p.Leak
+		if v < p.Floor {
+			v = p.Floor
+		}
+		th := p.Threshold
+		if p.Stochastic && p.NoiseMask > 0 {
+			if rand == nil {
+				panic("truenorth: stochastic neuron with nil RandSource")
+			}
+			th += int32(rand.Uint32() % uint32(p.NoiseMask+1))
+		}
+		if v >= th {
+			fired = append(fired, n)
+			if p.ResetMode == ResetSubtract {
+				v -= p.Threshold
+			} else {
+				v = p.Reset
+			}
+			c.fireEvents++
+		}
+		c.v[n] = v
+	}
+	return fired
+}
+
+// ResetState zeroes all membrane potentials and event counters.
+func (c *Core) ResetState() {
+	for i := range c.v {
+		c.v[i] = 0
+	}
+	c.synEvents = 0
+	c.fireEvents = 0
+}
+
+// SynapticEvents returns the number of synaptic events processed since
+// the last ResetState.
+func (c *Core) SynapticEvents() uint64 { return c.synEvents }
+
+// FireEvents returns the number of neuron firings since the last
+// ResetState.
+func (c *Core) FireEvents() uint64 { return c.fireEvents }
+
+// RandSource is the random number source used for stochastic neuron
+// thresholds. math/rand's *rand.Rand satisfies it.
+type RandSource interface {
+	Uint32() uint32
+}
+
+func trailingZeros64(word uint64) int { return bits.TrailingZeros64(word) }

@@ -1,0 +1,308 @@
+package truenorth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCore(t *testing.T, axons, neurons int) *Core {
+	t.Helper()
+	c, err := NewCore(0, axons, neurons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCoreGeometry(t *testing.T) {
+	if _, err := NewCore(0, 0, 10); err == nil {
+		t.Error("0 axons should error")
+	}
+	if _, err := NewCore(0, 10, 257); err == nil {
+		t.Error("257 neurons should error")
+	}
+	c := mustCore(t, 256, 256)
+	if c.Axons != 256 || c.Neurons != 256 {
+		t.Errorf("geometry %dx%d", c.Axons, c.Neurons)
+	}
+}
+
+func TestAxonTypeValidation(t *testing.T) {
+	c := mustCore(t, 8, 8)
+	if err := c.SetAxonType(3, 2); err != nil {
+		t.Error(err)
+	}
+	if c.AxonType(3) != 2 {
+		t.Error("axon type not stored")
+	}
+	if err := c.SetAxonType(8, 0); err == nil {
+		t.Error("axon out of range should error")
+	}
+	if err := c.SetAxonType(0, 4); err == nil {
+		t.Error("type out of range should error")
+	}
+}
+
+func TestConnectAndConnected(t *testing.T) {
+	c := mustCore(t, 100, 100)
+	if err := c.Connect(70, 65, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Connected(70, 65) {
+		t.Error("synapse not set")
+	}
+	if c.Connected(70, 64) || c.Connected(69, 65) {
+		t.Error("neighboring synapses should be clear")
+	}
+	if err := c.Connect(70, 65, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Connected(70, 65) {
+		t.Error("synapse not cleared")
+	}
+	if err := c.Connect(100, 0, true); err == nil {
+		t.Error("out of range should error")
+	}
+}
+
+func TestIntegrateWeightByAxonType(t *testing.T) {
+	c := mustCore(t, 4, 2)
+	// Neuron 0: +3 for type0, -2 for type1.
+	p := DefaultNeuron()
+	p.Weights = [NumAxonTypes]int32{3, -2, 0, 0}
+	p.Threshold = 100 // don't fire
+	if err := c.SetNeuron(0, p); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetAxonType(0, 0)
+	_ = c.SetAxonType(1, 1)
+	_ = c.Connect(0, 0, true)
+	_ = c.Connect(1, 0, true)
+	spikes := []uint64{0b11} // axons 0 and 1
+	c.Integrate(spikes)
+	if got := c.Potential(0); got != 1 { // 3 - 2
+		t.Errorf("potential = %d, want 1", got)
+	}
+	if c.SynapticEvents() != 2 {
+		t.Errorf("synaptic events = %d, want 2", c.SynapticEvents())
+	}
+	// Neuron 1 is unconnected: untouched.
+	if c.Potential(1) != 0 {
+		t.Error("unconnected neuron integrated")
+	}
+}
+
+func TestFireThresholdAndReset(t *testing.T) {
+	c := mustCore(t, 1, 1)
+	p := DefaultNeuron()
+	p.Threshold = 2
+	p.Reset = 0
+	_ = c.SetNeuron(0, p)
+	_ = c.Connect(0, 0, true)
+
+	c.Integrate([]uint64{1})
+	if fired := c.Fire(nil); len(fired) != 0 {
+		t.Error("fired below threshold")
+	}
+	c.Integrate([]uint64{1})
+	fired := c.Fire(nil)
+	if len(fired) != 1 || fired[0] != 0 {
+		t.Errorf("fired = %v, want [0]", fired)
+	}
+	if c.Potential(0) != 0 {
+		t.Errorf("potential after reset = %d", c.Potential(0))
+	}
+	if c.FireEvents() != 1 {
+		t.Errorf("fire events = %d", c.FireEvents())
+	}
+}
+
+func TestResetSubtractLinearRate(t *testing.T) {
+	// With ResetSubtract and threshold T, the spike count over a window
+	// equals floor(total integrated input / T) when input is
+	// non-negative: the residue carries across firings.
+	c := mustCore(t, 1, 1)
+	p := DefaultNeuron()
+	p.Threshold = 3
+	p.ResetMode = ResetSubtract
+	_ = c.SetNeuron(0, p)
+	_ = c.Connect(0, 0, true)
+	fires := 0
+	for tick := 0; tick < 20; tick++ { // 20 unit inputs
+		c.Integrate([]uint64{1})
+		fires += len(c.Fire(nil))
+	}
+	if fires != 6 { // floor(20/3)
+		t.Errorf("ResetSubtract fires = %d, want 6", fires)
+	}
+	if c.Potential(0) != 2 { // 20 - 6*3
+		t.Errorf("residue = %d, want 2", c.Potential(0))
+	}
+}
+
+func TestLeakAccumulates(t *testing.T) {
+	c := mustCore(t, 1, 1)
+	p := DefaultNeuron()
+	p.Leak = 1
+	p.Threshold = 3
+	_ = c.SetNeuron(0, p)
+	ticks := 0
+	for i := 0; i < 10; i++ {
+		if len(c.Fire(nil)) == 1 {
+			ticks = i + 1
+			break
+		}
+	}
+	// Leak-only neuron with threshold 3 fires on the 3rd tick.
+	if ticks != 3 {
+		t.Errorf("leak-driven fire at tick %d, want 3", ticks)
+	}
+}
+
+func TestFloorClampsPotential(t *testing.T) {
+	c := mustCore(t, 1, 1)
+	p := DefaultNeuron()
+	p.Leak = -10
+	p.Floor = -15
+	p.Threshold = 1000
+	_ = c.SetNeuron(0, p)
+	c.Fire(nil)
+	c.Fire(nil)
+	c.Fire(nil)
+	if got := c.Potential(0); got != -15 {
+		t.Errorf("potential = %d, want floor -15", got)
+	}
+}
+
+func TestStochasticThresholdFiresProbabilistically(t *testing.T) {
+	c := mustCore(t, 1, 1)
+	p := DefaultNeuron()
+	p.Threshold = 1
+	p.Stochastic = true
+	p.NoiseMask = 3 // noise in 0..3: with V=2, fires iff noise <= 1 (P=0.5)
+	p.Reset = 0
+	_ = c.SetNeuron(0, p)
+	rng := rand.New(rand.NewSource(7))
+	fires := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		c.SetPotential(0, 2)
+		if len(c.Fire(rng)) == 1 {
+			fires++
+		}
+	}
+	frac := float64(fires) / trials
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("stochastic fire fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestStochasticWithoutRNGPanics(t *testing.T) {
+	c := mustCore(t, 1, 1)
+	p := DefaultNeuron()
+	p.Stochastic = true
+	p.NoiseMask = 3
+	_ = c.SetNeuron(0, p)
+	c.SetPotential(0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for stochastic neuron with nil rng")
+		}
+	}()
+	c.Fire(nil)
+}
+
+func TestResetState(t *testing.T) {
+	c := mustCore(t, 2, 2)
+	_ = c.Connect(0, 0, true)
+	c.Integrate([]uint64{1})
+	c.SetPotential(1, 42)
+	c.ResetState()
+	if c.Potential(0) != 0 || c.Potential(1) != 0 {
+		t.Error("potentials not cleared")
+	}
+	if c.SynapticEvents() != 0 || c.FireEvents() != 0 {
+		t.Error("counters not cleared")
+	}
+}
+
+func TestIntegratePropertyMatchesDenseReference(t *testing.T) {
+	// The bitset integration must equal a dense matrix-vector product.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const A, N = 96, 80
+		c, err := NewCore(0, A, N)
+		if err != nil {
+			return false
+		}
+		dense := make([][]int32, A)
+		for a := 0; a < A; a++ {
+			dense[a] = make([]int32, N)
+			_ = c.SetAxonType(a, rng.Intn(NumAxonTypes))
+		}
+		for n := 0; n < N; n++ {
+			p := DefaultNeuron()
+			for k := range p.Weights {
+				p.Weights[k] = int32(rng.Intn(7) - 3)
+			}
+			p.Threshold = 1 << 30
+			_ = c.SetNeuron(n, p)
+		}
+		for a := 0; a < A; a++ {
+			for n := 0; n < N; n++ {
+				if rng.Intn(3) == 0 {
+					_ = c.Connect(a, n, true)
+					dense[a][n] = c.Neuron(n).Weights[c.AxonType(a)]
+				}
+			}
+		}
+		spikes := make([]uint64, (A+63)/64)
+		var active []int
+		for a := 0; a < A; a++ {
+			if rng.Intn(2) == 0 {
+				spikes[a/64] |= 1 << uint(a%64)
+				active = append(active, a)
+			}
+		}
+		c.Integrate(spikes)
+		for n := 0; n < N; n++ {
+			var want int32
+			for _, a := range active {
+				want += dense[a][n]
+			}
+			if c.Potential(n) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntegrateFullCore(b *testing.B) {
+	c, _ := NewCore(0, 256, 256)
+	for a := 0; a < 256; a++ {
+		for n := 0; n < 256; n += 2 {
+			_ = c.Connect(a, n, true)
+		}
+	}
+	spikes := make([]uint64, 4)
+	for i := range spikes {
+		spikes[i] = 0xAAAAAAAAAAAAAAAA // half the axons spike
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Integrate(spikes)
+	}
+}
+
+func BenchmarkFireFullCore(b *testing.B) {
+	c, _ := NewCore(0, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fire(nil)
+	}
+}

@@ -1,0 +1,154 @@
+package truenorth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model files: the Corelet ecosystem converts corelet objects into
+// model files runnable on both the hardware and the simulator
+// (Sec. 2.2). This file provides the equivalent facility: a compact
+// JSON encoding of a Model — cores with axon types, neuron parameters
+// and crossbar rows, the routing table, and external pins — consumed
+// by cmd/pcnn-sim.
+
+type neuronJSON struct {
+	Weights    [NumAxonTypes]int32 `json:"w"`
+	Leak       int32               `json:"leak,omitempty"`
+	Threshold  int32               `json:"th"`
+	Reset      int32               `json:"reset,omitempty"`
+	ResetMode  int                 `json:"mode,omitempty"`
+	Floor      int32               `json:"floor,omitempty"`
+	Stochastic bool                `json:"stoch,omitempty"`
+	NoiseMask  int32               `json:"noise,omitempty"`
+}
+
+type coreJSON struct {
+	Axons     int          `json:"axons"`
+	Neurons   int          `json:"neurons"`
+	AxonTypes []uint8      `json:"axon_types"`
+	Params    []neuronJSON `json:"params"`
+	// Conn holds the crossbar as per-axon neuron-index lists (sparse).
+	Conn [][]int `json:"conn"`
+}
+
+type targetJSON struct {
+	Core  int `json:"c"`
+	Axon  int `json:"a"`
+	Delay int `json:"d,omitempty"`
+}
+
+type modelJSON struct {
+	Version int          `json:"version"`
+	Cores   []coreJSON   `json:"cores"`
+	Routes  [][]targetJSON `json:"routes"`
+	Inputs  []targetJSON `json:"inputs"`
+}
+
+// Save writes the model as a JSON model file.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{Version: 1}
+	for ci := 0; ci < m.NumCores(); ci++ {
+		c := m.Core(ci)
+		cj := coreJSON{
+			Axons: c.Axons, Neurons: c.Neurons,
+			AxonTypes: make([]uint8, c.Axons),
+			Params:    make([]neuronJSON, c.Neurons),
+			Conn:      make([][]int, c.Axons),
+		}
+		for a := 0; a < c.Axons; a++ {
+			cj.AxonTypes[a] = uint8(c.AxonType(a))
+			for n := 0; n < c.Neurons; n++ {
+				if c.Connected(a, n) {
+					cj.Conn[a] = append(cj.Conn[a], n)
+				}
+			}
+		}
+		for n := 0; n < c.Neurons; n++ {
+			p := c.Neuron(n)
+			cj.Params[n] = neuronJSON{
+				Weights: p.Weights, Leak: p.Leak, Threshold: p.Threshold,
+				Reset: p.Reset, ResetMode: int(p.ResetMode), Floor: p.Floor,
+				Stochastic: p.Stochastic, NoiseMask: p.NoiseMask,
+			}
+		}
+		out.Cores = append(out.Cores, cj)
+
+		routes := make([]targetJSON, c.Neurons)
+		for n := 0; n < c.Neurons; n++ {
+			t := m.RouteOf(ci, n)
+			routes[n] = targetJSON{Core: t.Core, Axon: t.Axon, Delay: t.Delay}
+		}
+		out.Routes = append(out.Routes, routes)
+	}
+	for p := 0; p < m.NumInputs(); p++ {
+		t := m.InputTarget(p)
+		out.Inputs = append(out.Inputs, targetJSON{Core: t.Core, Axon: t.Axon})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadModel reads a model file written by Save and validates it.
+func LoadModel(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("truenorth: decode model: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("truenorth: unsupported model version %d", in.Version)
+	}
+	if len(in.Routes) != len(in.Cores) {
+		return nil, fmt.Errorf("truenorth: %d route tables for %d cores", len(in.Routes), len(in.Cores))
+	}
+	m := NewModel()
+	for ci, cj := range in.Cores {
+		c, err := m.AddCore(cj.Axons, cj.Neurons)
+		if err != nil {
+			return nil, fmt.Errorf("truenorth: core %d: %w", ci, err)
+		}
+		if len(cj.AxonTypes) != cj.Axons || len(cj.Params) != cj.Neurons || len(cj.Conn) != cj.Axons {
+			return nil, fmt.Errorf("truenorth: core %d field sizes inconsistent", ci)
+		}
+		for a, t := range cj.AxonTypes {
+			if err := c.SetAxonType(a, int(t)); err != nil {
+				return nil, err
+			}
+		}
+		for n, pj := range cj.Params {
+			if err := c.SetNeuron(n, NeuronParams{
+				Weights: pj.Weights, Leak: pj.Leak, Threshold: pj.Threshold,
+				Reset: pj.Reset, ResetMode: ResetMode(pj.ResetMode), Floor: pj.Floor,
+				Stochastic: pj.Stochastic, NoiseMask: pj.NoiseMask,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		for a, row := range cj.Conn {
+			for _, n := range row {
+				if err := c.Connect(a, n, true); err != nil {
+					return nil, fmt.Errorf("truenorth: core %d synapse (%d,%d): %w", ci, a, n, err)
+				}
+			}
+		}
+	}
+	for ci, routes := range in.Routes {
+		if len(routes) != in.Cores[ci].Neurons {
+			return nil, fmt.Errorf("truenorth: core %d route count", ci)
+		}
+		for n, tj := range routes {
+			if err := m.Route(ci, n, Target{Core: tj.Core, Axon: tj.Axon, Delay: tj.Delay}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, tj := range in.Inputs {
+		if _, err := m.AddInput(tj.Core, tj.Axon); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,127 @@
+package truenorth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	// Build a model exercising every serialized feature: axon types,
+	// stochastic neurons, reset-subtract, inter-core and external
+	// routes, disconnected neurons, input pins.
+	m := NewModel()
+	c0, _ := m.AddCore(4, 3)
+	c1, _ := m.AddCore(2, 2)
+	_ = c0.SetAxonType(1, 2)
+	_ = c0.SetAxonType(3, 1)
+	p := DefaultNeuron()
+	p.Weights = [NumAxonTypes]int32{5, -3, 2, 0}
+	p.Leak = -1
+	p.Threshold = 7
+	p.ResetMode = ResetSubtract
+	p.Floor = -99
+	_ = c0.SetNeuron(0, p)
+	sp := DefaultNeuron()
+	sp.Stochastic = true
+	sp.NoiseMask = 15
+	_ = c0.SetNeuron(1, sp)
+	_ = c0.Connect(0, 0, true)
+	_ = c0.Connect(3, 1, true)
+	_ = c1.Connect(1, 0, true)
+	_ = m.Route(0, 0, Target{Core: 1, Axon: 1})
+	_ = m.Route(0, 1, Target{Core: ExternalCore, Axon: 2})
+	// Neuron (0,2) stays Disconnected.
+	_ = m.Route(1, 0, Target{Core: ExternalCore, Axon: 0})
+	_ = m.Route(1, 1, Target{Core: 0, Axon: 2})
+	_, _ = m.AddInput(0, 0)
+	_, _ = m.AddInput(1, 1)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCores() != 2 || got.NumInputs() != 2 || got.NumOutputs() != 3 {
+		t.Fatalf("shape: %d cores %d in %d out",
+			got.NumCores(), got.NumInputs(), got.NumOutputs())
+	}
+	gc := got.Core(0)
+	if gc.AxonType(1) != 2 || gc.AxonType(3) != 1 {
+		t.Error("axon types lost")
+	}
+	gp := gc.Neuron(0)
+	if gp != p {
+		t.Errorf("neuron params lost: %+v vs %+v", gp, p)
+	}
+	if !gc.Connected(0, 0) || !gc.Connected(3, 1) || gc.Connected(1, 0) {
+		t.Error("crossbar lost")
+	}
+	if got.RouteOf(0, 0) != (Target{Core: 1, Axon: 1}) {
+		t.Error("inter-core route lost")
+	}
+	if !got.RouteOf(0, 2).IsDisconnected() {
+		t.Error("disconnected route lost")
+	}
+	if got.InputTarget(1) != (Target{Core: 1, Axon: 1}) {
+		t.Error("input pin lost")
+	}
+}
+
+func TestModelRoundTripBehaviour(t *testing.T) {
+	// A relay built, saved, reloaded must behave identically.
+	m := NewModel()
+	c, _ := m.AddCore(1, 1)
+	p := DefaultNeuron()
+	p.Threshold = 1
+	_ = c.SetNeuron(0, p)
+	_ = c.Connect(0, 0, true)
+	_ = m.Route(0, 0, Target{Core: ExternalCore, Axon: 0})
+	_, _ = m.AddInput(0, 0)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim1, _ := NewSimulator(m, 1)
+	sim2, _ := NewSimulator(got, 1)
+	in := func(t int) []int {
+		if t%3 == 0 {
+			return []int{0}
+		}
+		return nil
+	}
+	a, err := sim1.Run(30, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim2.Run(30, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("reloaded model diverges: %v vs %v", a, b)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	cases := []string{
+		`garbage`,
+		`{"version":7}`,
+		`{"version":1,"cores":[{"axons":1,"neurons":1,"axon_types":[0],"params":[{"w":[1,0,0,0],"th":1}],"conn":[[0]]}],"routes":[]}`,
+		`{"version":1,"cores":[{"axons":0,"neurons":1,"axon_types":[],"params":[],"conn":[]}],"routes":[[]]}`,
+		`{"version":1,"cores":[{"axons":1,"neurons":1,"axon_types":[9],"params":[{"w":[1,0,0,0],"th":1}],"conn":[[]]}],"routes":[[{"c":-2,"a":0}]]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package truenorth
+
+import "fmt"
+
+// ExternalCore is the sentinel core index in a Target meaning "leave
+// the chip": the Axon field is then an output pin index.
+const ExternalCore = -1
+
+// MaxDelay is the largest programmable axonal delay in ticks
+// (TrueNorth supports 1..15).
+const MaxDelay = 15
+
+// Target is the destination of a neuron's spikes: an axon on some core,
+// or an external output pin when Core == ExternalCore. TrueNorth wires
+// each neuron to exactly one target axon, with a programmable axonal
+// delay of 1..MaxDelay ticks (Delay 0 means the default of 1).
+type Target struct {
+	Core  int
+	Axon  int
+	Delay int
+}
+
+// Disconnected is the zero-value-adjacent target for neurons whose
+// spikes are dropped.
+var Disconnected = Target{Core: -2}
+
+// IsExternal reports whether the target is an output pin.
+func (t Target) IsExternal() bool { return t.Core == ExternalCore }
+
+// IsDisconnected reports whether spikes to this target are dropped.
+func (t Target) IsDisconnected() bool { return t.Core < ExternalCore }
+
+// Model is a complete network: a set of cores, a routing table mapping
+// every neuron to its target, and external input pins mapping into
+// core axons.
+type Model struct {
+	cores  []*Core
+	routes [][]Target // [core][neuron]
+	inputs []Target   // [pin] -> (core, axon)
+	nOut   int        // number of external output pins
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddCore creates a core with the given geometry, appends it and
+// returns it. All its neurons start disconnected.
+func (m *Model) AddCore(axons, neurons int) (*Core, error) {
+	c, err := NewCore(len(m.cores), axons, neurons)
+	if err != nil {
+		return nil, err
+	}
+	m.cores = append(m.cores, c)
+	r := make([]Target, neurons)
+	for i := range r {
+		r[i] = Disconnected
+	}
+	m.routes = append(m.routes, r)
+	return c, nil
+}
+
+// NumCores returns the number of cores in the model.
+func (m *Model) NumCores() int { return len(m.cores) }
+
+// Core returns core i.
+func (m *Model) Core(i int) *Core { return m.cores[i] }
+
+// Route wires neuron n of core c to target t.
+func (m *Model) Route(c, n int, t Target) error {
+	if c < 0 || c >= len(m.cores) {
+		return fmt.Errorf("truenorth: route source core %d out of range", c)
+	}
+	if n < 0 || n >= m.cores[c].Neurons {
+		return fmt.Errorf("truenorth: route source neuron %d out of range", n)
+	}
+	if t.Delay < 0 || t.Delay > MaxDelay {
+		return fmt.Errorf("truenorth: axonal delay %d outside [0,%d]", t.Delay, MaxDelay)
+	}
+	switch {
+	case t.IsDisconnected():
+		// Always valid.
+	case t.IsExternal():
+		if t.Axon < 0 {
+			return fmt.Errorf("truenorth: negative output pin %d", t.Axon)
+		}
+		if t.Axon+1 > m.nOut {
+			m.nOut = t.Axon + 1
+		}
+	default:
+		if t.Core >= len(m.cores) {
+			return fmt.Errorf("truenorth: route target core %d out of range", t.Core)
+		}
+		if t.Axon < 0 || t.Axon >= m.cores[t.Core].Axons {
+			return fmt.Errorf("truenorth: route target axon %d out of range", t.Axon)
+		}
+	}
+	m.routes[c][n] = t
+	return nil
+}
+
+// RouteOf returns neuron n of core c's target.
+func (m *Model) RouteOf(c, n int) Target { return m.routes[c][n] }
+
+// AddInput appends an external input pin wired to (core, axon) and
+// returns the pin index.
+func (m *Model) AddInput(core, axon int) (int, error) {
+	if core < 0 || core >= len(m.cores) {
+		return 0, fmt.Errorf("truenorth: input target core %d out of range", core)
+	}
+	if axon < 0 || axon >= m.cores[core].Axons {
+		return 0, fmt.Errorf("truenorth: input target axon %d out of range", axon)
+	}
+	m.inputs = append(m.inputs, Target{Core: core, Axon: axon})
+	return len(m.inputs) - 1, nil
+}
+
+// NumInputs returns the number of external input pins.
+func (m *Model) NumInputs() int { return len(m.inputs) }
+
+// NumOutputs returns the number of external output pins (one past the
+// highest pin index any neuron routes to).
+func (m *Model) NumOutputs() int { return m.nOut }
+
+// InputTarget returns input pin p's (core, axon) wiring.
+func (m *Model) InputTarget(p int) Target { return m.inputs[p] }
+
+// Validate checks structural invariants: every route and input in
+// range (enforced on construction, re-checked here for loaded models).
+func (m *Model) Validate() error {
+	for c, route := range m.routes {
+		if len(route) != m.cores[c].Neurons {
+			return fmt.Errorf("truenorth: core %d route table has %d entries, want %d",
+				c, len(route), m.cores[c].Neurons)
+		}
+		for n, t := range route {
+			if t.IsDisconnected() || t.IsExternal() {
+				continue
+			}
+			if t.Core < 0 || t.Core >= len(m.cores) {
+				return fmt.Errorf("truenorth: core %d neuron %d targets missing core %d", c, n, t.Core)
+			}
+			if t.Axon < 0 || t.Axon >= m.cores[t.Core].Axons {
+				return fmt.Errorf("truenorth: core %d neuron %d targets bad axon %d", c, n, t.Axon)
+			}
+		}
+	}
+	for p, t := range m.inputs {
+		if t.Core < 0 || t.Core >= len(m.cores) ||
+			t.Axon < 0 || t.Axon >= m.cores[t.Core].Axons {
+			return fmt.Errorf("truenorth: input pin %d wired to invalid %+v", p, t)
+		}
+	}
+	return nil
+}
+
+// Chips returns the number of TrueNorth chips needed to host the model
+// (ceil(cores / 4096)), minimum 1 for a non-empty model.
+func (m *Model) Chips() int {
+	if len(m.cores) == 0 {
+		return 0
+	}
+	return (len(m.cores) + ChipCores - 1) / ChipCores
+}

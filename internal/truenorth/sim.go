@@ -1,0 +1,184 @@
+package truenorth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Simulator advances a Model tick by tick. Spikes fired during tick t
+// are delivered to their target axons at tick t+1, matching the
+// one-tick synaptic delay of the hardware's default configuration.
+type Simulator struct {
+	model *Model
+	// ring holds MaxDelay+1 per-core axon spike buffers; slot indexes
+	// the buffer consumed on the next Step, and a spike with axonal
+	// delay d lands in ring[(slot+d) % len(ring)].
+	ring [][][]uint64
+	slot int
+	rng  *rand.Rand
+	tick uint64
+	// outBuf holds per-pin output spikes from the last Step.
+	outBuf []bool
+
+	// spikesRouted counts spike deliveries across the routing fabric.
+	spikesRouted uint64
+	// trace, when non-nil, records every neuron firing.
+	trace *Trace
+}
+
+// NewSimulator prepares a simulator for model. seed drives stochastic
+// neuron thresholds; runs with the same seed are bit-identical.
+func NewSimulator(model *Model, seed int64) (*Simulator, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		model:  model,
+		rng:    rand.New(rand.NewSource(seed)),
+		outBuf: make([]bool, model.NumOutputs()),
+		ring:   make([][][]uint64, MaxDelay+1),
+	}
+	for k := range s.ring {
+		s.ring[k] = newSpikeBuffers(model)
+	}
+	// slot starts at 0; injections with the default delay of 1 land in
+	// slot 1 and are consumed on the first Step after the pointer
+	// advances there... to preserve the original inject-before-step
+	// semantics, Step consumes the *next* slot after rotation.
+	return s, nil
+}
+
+// deliver schedules a spike into (core, axon) after the given delay
+// (0 is normalized to the default 1).
+func (s *Simulator) deliver(core, axon, delay int) {
+	if delay <= 0 {
+		delay = 1
+	}
+	buf := s.ring[(s.slot+delay)%len(s.ring)]
+	buf[core][axon/64] |= 1 << uint(axon%64)
+}
+
+func newSpikeBuffers(m *Model) [][]uint64 {
+	buf := make([][]uint64, m.NumCores())
+	for i := 0; i < m.NumCores(); i++ {
+		buf[i] = make([]uint64, (m.Core(i).Axons+63)/64)
+	}
+	return buf
+}
+
+// Tick returns the current tick number (number of completed ticks).
+func (s *Simulator) Tick() uint64 { return s.tick }
+
+// InjectInput schedules a spike on external input pin p for delivery
+// at the next Step.
+func (s *Simulator) InjectInput(p int) error {
+	if p < 0 || p >= s.model.NumInputs() {
+		return fmt.Errorf("truenorth: input pin %d out of range [0,%d)", p, s.model.NumInputs())
+	}
+	t := s.model.InputTarget(p)
+	s.deliver(t.Core, t.Axon, 1)
+	return nil
+}
+
+// InjectInputs schedules spikes on every listed pin.
+func (s *Simulator) InjectInputs(pins []int) error {
+	for _, p := range pins {
+		if err := s.InjectInput(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances the simulation one tick: axon spikes queued for this
+// tick are integrated, all neurons leak and evaluate their thresholds,
+// and fired spikes are routed for the next tick. It returns the output
+// pins that spiked this tick (the returned slice is reused across
+// calls; copy it to retain).
+func (s *Simulator) Step() []bool {
+	// Advance to the slot injections (delay 1) were scheduled into,
+	// then consume it.
+	s.slot = (s.slot + 1) % len(s.ring)
+	cur := s.ring[s.slot]
+	for i := range s.outBuf {
+		s.outBuf[i] = false
+	}
+
+	m := s.model
+	for c := 0; c < m.NumCores(); c++ {
+		core := m.Core(c)
+		core.Integrate(cur[c])
+		for _, n := range core.Fire(s.rng) {
+			if s.trace != nil {
+				s.trace.record(s.tick, c, n)
+			}
+			t := m.RouteOf(c, n)
+			switch {
+			case t.IsDisconnected():
+				// Dropped.
+			case t.IsExternal():
+				if t.Axon < len(s.outBuf) {
+					s.outBuf[t.Axon] = true
+				}
+				s.spikesRouted++
+			default:
+				s.deliver(t.Core, t.Axon, t.Delay)
+				s.spikesRouted++
+			}
+		}
+	}
+	// Clear the consumed slot for reuse a full ring-cycle later.
+	for _, buf := range cur {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	s.tick++
+	return s.outBuf
+}
+
+// Run drives the simulator for ticks steps. Before each step, inputFn
+// (if non-nil) is called with the tick index and returns the input
+// pins to spike on that tick. The result is the per-tick output spike
+// count for each output pin, accumulated over the run.
+func (s *Simulator) Run(ticks int, inputFn func(t int) []int) ([]int, error) {
+	counts := make([]int, s.model.NumOutputs())
+	for t := 0; t < ticks; t++ {
+		if inputFn != nil {
+			if err := s.InjectInputs(inputFn(t)); err != nil {
+				return nil, err
+			}
+		}
+		out := s.Step()
+		for p, fired := range out {
+			if fired {
+				counts[p]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+// Reset returns the simulator (and all core membrane potentials) to
+// the initial state, keeping the RNG stream position.
+func (s *Simulator) Reset() {
+	for c := 0; c < s.model.NumCores(); c++ {
+		s.model.Core(c).ResetState()
+	}
+	for _, slot := range s.ring {
+		for _, buf := range slot {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+	}
+	s.tick = 0
+	s.spikesRouted = 0
+}
+
+// SpikesRouted returns the number of spikes delivered across the
+// routing fabric since the last Reset.
+func (s *Simulator) SpikesRouted() uint64 { return s.spikesRouted }
+
+// Model returns the simulated model.
+func (s *Simulator) Model() *Model { return s.model }

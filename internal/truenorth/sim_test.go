@@ -1,0 +1,426 @@
+package truenorth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildRelay wires pin -> core0 neuron -> core1 neuron -> output pin,
+// with every neuron a simple threshold-1 repeater.
+func buildRelay(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	for i := 0; i < 2; i++ {
+		c, err := m.AddCore(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultNeuron()
+		p.Weights = [NumAxonTypes]int32{1, 0, 0, 0}
+		p.Threshold = 1
+		if err := c.SetNeuron(0, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(0, 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.AddInput(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Route(0, 0, Target{Core: 1, Axon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Route(1, 0, Target{Core: ExternalCore, Axon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRelayLatencyTwoTicks(t *testing.T) {
+	m := buildRelay(t)
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectInput(0); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 1: core0 integrates and fires; tick 2: core1 fires to output.
+	if out := sim.Step(); out[0] {
+		t.Error("output spiked one tick early")
+	}
+	if out := sim.Step(); !out[0] {
+		t.Error("output did not spike after two ticks")
+	}
+	if out := sim.Step(); out[0] {
+		t.Error("spurious output spike")
+	}
+	if sim.SpikesRouted() != 2 {
+		t.Errorf("spikes routed = %d, want 2", sim.SpikesRouted())
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	m := NewModel()
+	c, _ := m.AddCore(4, 4)
+	_ = c
+	if err := m.Route(0, 0, Target{Core: 5, Axon: 0}); err == nil {
+		t.Error("routing to missing core should error")
+	}
+	if err := m.Route(0, 0, Target{Core: 0, Axon: 100}); err == nil {
+		t.Error("routing to bad axon should error")
+	}
+	if err := m.Route(5, 0, Target{}); err == nil {
+		t.Error("bad source core should error")
+	}
+	if err := m.Route(0, 9, Target{}); err == nil {
+		t.Error("bad source neuron should error")
+	}
+	if _, err := m.AddInput(3, 0); err == nil {
+		t.Error("input to missing core should error")
+	}
+	if _, err := m.AddInput(0, 50); err == nil {
+		t.Error("input to bad axon should error")
+	}
+	if err := m.Route(0, 0, Target{Core: ExternalCore, Axon: -1}); err == nil {
+		t.Error("negative output pin should error")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestDisconnectedNeuronDropsSpikes(t *testing.T) {
+	m := NewModel()
+	c, _ := m.AddCore(1, 1)
+	p := DefaultNeuron()
+	p.Leak = 1
+	p.Threshold = 1
+	_ = c.SetNeuron(0, p)
+	// Route stays Disconnected.
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sim.Step()
+	}
+	if sim.SpikesRouted() != 0 {
+		t.Error("disconnected spikes should not be routed")
+	}
+	if c.FireEvents() == 0 {
+		t.Error("leak neuron should have fired")
+	}
+}
+
+func TestRunAccumulatesOutputCounts(t *testing.T) {
+	m := buildRelay(t)
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := sim.Run(20, func(t int) []int {
+		if t%2 == 0 {
+			return []int{0}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injection before step t is consumed at step t (the spike arrives
+	// during the previous tick), so each of the 10 inputs at t=0,2,..,18
+	// emerges from the two-core relay at t+1 <= 19, inside the run.
+	if counts[0] != 10 {
+		t.Errorf("output count = %d, want 10", counts[0])
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		c, _ := m.AddCore(8, 8)
+		for n := 0; n < 8; n++ {
+			p := DefaultNeuron()
+			p.Threshold = 2
+			p.Stochastic = true
+			p.NoiseMask = 3
+			_ = c.SetNeuron(n, p)
+			_ = c.Connect(n, n, true)
+			_ = m.Route(0, n, Target{Core: ExternalCore, Axon: n})
+		}
+		for a := 0; a < 8; a++ {
+			_, _ = m.AddInput(0, a)
+		}
+		return m
+	}
+	run := func(seed int64) []int {
+		sim, err := NewSimulator(build(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := sim.Run(200, func(tick int) []int {
+			return []int{tick % 8, (tick * 3) % 8}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical stochastic outputs (suspicious)")
+	}
+}
+
+func TestSimulatorReset(t *testing.T) {
+	m := buildRelay(t)
+	sim, _ := NewSimulator(m, 1)
+	_ = sim.InjectInput(0)
+	sim.Step()
+	sim.Step()
+	sim.Reset()
+	if sim.Tick() != 0 || sim.SpikesRouted() != 0 {
+		t.Error("reset did not clear counters")
+	}
+	// Pending spikes cleared: stepping produces no output.
+	if out := sim.Step(); out[0] {
+		t.Error("reset left pending spikes")
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	m := buildRelay(t)
+	sim, _ := NewSimulator(m, 1)
+	if err := sim.InjectInput(5); err == nil {
+		t.Error("bad pin should error")
+	}
+	if err := sim.InjectInputs([]int{0, 9}); err == nil {
+		t.Error("bad pin in list should error")
+	}
+}
+
+func TestChipsAccounting(t *testing.T) {
+	m := NewModel()
+	if m.Chips() != 0 {
+		t.Error("empty model should need 0 chips")
+	}
+	for i := 0; i < 3; i++ {
+		_, _ = m.AddCore(1, 1)
+	}
+	if m.Chips() != 1 {
+		t.Errorf("3 cores -> %d chips, want 1", m.Chips())
+	}
+}
+
+func TestRateEncode(t *testing.T) {
+	tr := RateEncode(0.5, 64)
+	if got := DecodeCount(tr); math.Abs(got-0.5) > 1.0/64 {
+		t.Errorf("rate 0.5 decoded = %v", got)
+	}
+	if n := countSpikes(RateEncode(0, 64)); n != 0 {
+		t.Errorf("rate 0 -> %d spikes", n)
+	}
+	if n := countSpikes(RateEncode(1, 64)); n != 64 {
+		t.Errorf("rate 1 -> %d spikes", n)
+	}
+	if n := countSpikes(RateEncode(2.0, 10)); n != 10 {
+		t.Errorf("clamped rate -> %d spikes", n)
+	}
+	if n := countSpikes(RateEncode(-1, 10)); n != 0 {
+		t.Errorf("negative rate -> %d spikes", n)
+	}
+	if RateEncode(0.5, 0) != nil {
+		t.Error("zero window should be nil")
+	}
+}
+
+func TestRateEncodeEvenSpacing(t *testing.T) {
+	tr := RateEncode(0.25, 16) // 4 spikes in 16 ticks
+	gaps := []int{}
+	last := -1
+	for i, s := range tr {
+		if s {
+			if last >= 0 {
+				gaps = append(gaps, i-last)
+			}
+			last = i
+		}
+	}
+	for _, g := range gaps {
+		if g != 4 {
+			t.Errorf("uneven spacing %v in %v", gaps, tr)
+			break
+		}
+	}
+}
+
+func countSpikes(tr []bool) int {
+	n := 0
+	for _, s := range tr {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStochasticEncodeMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	total := 0
+	const trials, window = 200, 32
+	for i := 0; i < trials; i++ {
+		total += countSpikes(StochasticEncode(0.3, window, rng))
+	}
+	mean := float64(total) / float64(trials*window)
+	if math.Abs(mean-0.3) > 0.03 {
+		t.Errorf("stochastic mean = %v, want ~0.3", mean)
+	}
+}
+
+func TestQuantizeToSpikes(t *testing.T) {
+	if got := QuantizeToSpikes(0.49, 1); got != 0 {
+		t.Errorf("0.49 @1-spike = %v, want 0", got)
+	}
+	if got := QuantizeToSpikes(0.51, 1); got != 1 {
+		t.Errorf("0.51 @1-spike = %v, want 1", got)
+	}
+	if got := QuantizeToSpikes(0.3, 4); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("0.3 @4-spike = %v, want 0.25", got)
+	}
+	if got := QuantizeToSpikes(0.5, 0); got != 0 {
+		t.Errorf("window 0 = %v", got)
+	}
+}
+
+func TestSpikeBits(t *testing.T) {
+	cases := []struct{ window, want int }{
+		{64, 6}, {32, 5}, {4, 2}, {1, 1}, {0, 0}, {6, 3},
+	}
+	for _, c := range cases {
+		if got := SpikeBits(c.window); got != c.want {
+			t.Errorf("SpikeBits(%d) = %d, want %d", c.window, got, c.want)
+		}
+	}
+}
+
+func TestPowerConstants(t *testing.T) {
+	if math.Abs(WattsPerCore-16.1e-6) > 1e-6 {
+		t.Errorf("per-core power = %v, want ~16uW", WattsPerCore)
+	}
+	if got := ChipPower(650); math.Abs(got-42.9) > 0.1 {
+		t.Errorf("650 chips = %vW, want ~42.9W (paper rounds to 40W)", got)
+	}
+}
+
+func TestCollectEnergy(t *testing.T) {
+	m := buildRelay(t)
+	sim, _ := NewSimulator(m, 1)
+	_ = sim.InjectInput(0)
+	sim.Step()
+	sim.Step()
+	e := CollectEnergy(sim)
+	if e.Ticks != 2 || e.NeuronFires != 2 || e.SynapticEvents != 2 || e.SpikesRouted != 2 {
+		t.Errorf("energy stats = %+v", e)
+	}
+	if e.ActiveEnergyJoules() <= 0 {
+		t.Error("energy should be positive")
+	}
+}
+
+func BenchmarkSimulatorStep64Cores(b *testing.B) {
+	m := NewModel()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		c, _ := m.AddCore(256, 256)
+		for n := 0; n < 256; n++ {
+			p := DefaultNeuron()
+			p.Threshold = 64
+			p.Leak = 1
+			_ = c.SetNeuron(n, p)
+			_ = m.Route(i, n, Target{Core: (i + 1) % 64, Axon: n})
+		}
+		for a := 0; a < 256; a++ {
+			for n := 0; n < 256; n++ {
+				if rng.Intn(8) == 0 {
+					_ = c.Connect(a, n, true)
+				}
+			}
+		}
+	}
+	sim, _ := NewSimulator(m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}
+
+func TestAxonalDelays(t *testing.T) {
+	// A neuron routed with delay 5 reaches its target four ticks later
+	// than one with the default delay of 1.
+	m := NewModel()
+	src, _ := m.AddCore(2, 2)
+	dst, _ := m.AddCore(2, 2)
+	p := DefaultNeuron()
+	p.Threshold = 1
+	for n := 0; n < 2; n++ {
+		_ = src.SetNeuron(n, p)
+		_ = src.Connect(n, n, true)
+		_ = dst.SetNeuron(n, p)
+		_ = dst.Connect(n, n, true)
+		_, _ = m.AddInput(0, n)
+		_ = m.Route(1, n, Target{Core: ExternalCore, Axon: n})
+	}
+	_ = m.Route(0, 0, Target{Core: 1, Axon: 0})           // default delay 1
+	_ = m.Route(0, 1, Target{Core: 1, Axon: 1, Delay: 5}) // slow path
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.InjectInputs([]int{0, 1})
+	var fastTick, slowTick int
+	for tick := 1; tick <= 10; tick++ {
+		out := sim.Step()
+		if out[0] && fastTick == 0 {
+			fastTick = tick
+		}
+		if out[1] && slowTick == 0 {
+			slowTick = tick
+		}
+	}
+	if fastTick == 0 || slowTick == 0 {
+		t.Fatalf("spikes lost: fast=%d slow=%d", fastTick, slowTick)
+	}
+	if slowTick-fastTick != 4 {
+		t.Errorf("delay difference = %d ticks, want 4 (fast %d, slow %d)",
+			slowTick-fastTick, fastTick, slowTick)
+	}
+}
+
+func TestRouteDelayValidation(t *testing.T) {
+	m := NewModel()
+	_, _ = m.AddCore(1, 1)
+	if err := m.Route(0, 0, Target{Core: 0, Axon: 0, Delay: 16}); err == nil {
+		t.Error("delay 16 should be rejected")
+	}
+	if err := m.Route(0, 0, Target{Core: 0, Axon: 0, Delay: -1}); err == nil {
+		t.Error("negative delay should be rejected")
+	}
+	if err := m.Route(0, 0, Target{Core: 0, Axon: 0, Delay: 15}); err != nil {
+		t.Errorf("delay 15 should be accepted: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package truenorth
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Spike tracing: a Trace records neuron firings per tick so corelet
+// behaviour can be inspected as a raster, the debugging view the
+// Corelet environment provides.
+
+// TraceEvent is one recorded firing.
+type TraceEvent struct {
+	Tick   uint64
+	Core   int
+	Neuron int
+}
+
+// Trace accumulates firings from a traced simulator run.
+type Trace struct {
+	Events []TraceEvent
+	// coreFilter limits recording to one core when >= 0.
+	coreFilter int
+}
+
+// NewTrace returns a trace recording every core.
+func NewTrace() *Trace { return &Trace{coreFilter: -1} }
+
+// NewCoreTrace returns a trace recording only the given core.
+func NewCoreTrace(core int) *Trace { return &Trace{coreFilter: core} }
+
+// attachTrace is called by the simulator on each firing.
+func (t *Trace) record(tick uint64, core, neuron int) {
+	if t.coreFilter >= 0 && core != t.coreFilter {
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{Tick: tick, Core: core, Neuron: neuron})
+}
+
+// SetTrace installs (or removes, with nil) a trace on the simulator.
+func (s *Simulator) SetTrace(t *Trace) { s.trace = t }
+
+// SpikeCounts aggregates the trace per (core, neuron).
+func (t *Trace) SpikeCounts() map[[2]int]int {
+	out := map[[2]int]int{}
+	for _, e := range t.Events {
+		out[[2]int{e.Core, e.Neuron}]++
+	}
+	return out
+}
+
+// WriteRaster renders the trace as a text raster: one line per firing
+// neuron, '|' marks at firing ticks, covering [0, maxTick]. Neurons
+// are ordered by (core, neuron).
+func (t *Trace) WriteRaster(w io.Writer) error {
+	if len(t.Events) == 0 {
+		_, err := fmt.Fprintln(w, "(no spikes recorded)")
+		return err
+	}
+	var maxTick uint64
+	rows := map[[2]int][]uint64{}
+	for _, e := range t.Events {
+		k := [2]int{e.Core, e.Neuron}
+		rows[k] = append(rows[k], e.Tick)
+		if e.Tick > maxTick {
+			maxTick = e.Tick
+		}
+	}
+	keys := make([][2]int, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	line := make([]byte, maxTick+1)
+	for _, k := range keys {
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, tick := range rows[k] {
+			line[tick] = '|'
+		}
+		if _, err := fmt.Fprintf(w, "c%03d n%03d %s\n", k[0], k[1], line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package truenorth
+
+import (
+	"strings"
+	"testing"
+)
+
+// tracedRelay builds a 2-core relay with a trace attached.
+func tracedRelay(t *testing.T, trace *Trace) *Simulator {
+	t.Helper()
+	m := NewModel()
+	for i := 0; i < 2; i++ {
+		c, err := m.AddCore(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultNeuron()
+		p.Threshold = 1
+		_ = c.SetNeuron(0, p)
+		_ = c.Connect(0, 0, true)
+	}
+	_, _ = m.AddInput(0, 0)
+	_ = m.Route(0, 0, Target{Core: 1, Axon: 0})
+	_ = m.Route(1, 0, Target{Core: ExternalCore, Axon: 0})
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetTrace(trace)
+	return sim
+}
+
+func TestTraceRecordsFirings(t *testing.T) {
+	trace := NewTrace()
+	sim := tracedRelay(t, trace)
+	_ = sim.InjectInput(0)
+	sim.Step()
+	sim.Step()
+	if len(trace.Events) != 2 {
+		t.Fatalf("events = %d, want 2: %+v", len(trace.Events), trace.Events)
+	}
+	if trace.Events[0].Core != 0 || trace.Events[1].Core != 1 {
+		t.Errorf("relay order wrong: %+v", trace.Events)
+	}
+	if trace.Events[1].Tick != trace.Events[0].Tick+1 {
+		t.Errorf("relay latency wrong: %+v", trace.Events)
+	}
+	counts := trace.SpikeCounts()
+	if counts[[2]int{0, 0}] != 1 || counts[[2]int{1, 0}] != 1 {
+		t.Errorf("counts: %v", counts)
+	}
+}
+
+func TestCoreTraceFilters(t *testing.T) {
+	trace := NewCoreTrace(1)
+	sim := tracedRelay(t, trace)
+	_ = sim.InjectInput(0)
+	sim.Step()
+	sim.Step()
+	if len(trace.Events) != 1 || trace.Events[0].Core != 1 {
+		t.Fatalf("filter failed: %+v", trace.Events)
+	}
+}
+
+func TestWriteRaster(t *testing.T) {
+	trace := NewTrace()
+	sim := tracedRelay(t, trace)
+	_ = sim.InjectInput(0)
+	sim.Step()
+	sim.Step()
+	var sb strings.Builder
+	if err := trace.WriteRaster(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "c000 n000") || !strings.Contains(out, "c001 n000") {
+		t.Errorf("raster missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Errorf("raster missing spikes:\n%s", out)
+	}
+
+	empty := NewTrace()
+	sb.Reset()
+	if err := empty.WriteRaster(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spikes") {
+		t.Error("empty raster message missing")
+	}
+}

@@ -1,0 +1,121 @@
+// Package viz renders trained models for inspection: the classic HoG
+// weight-glyph image (per-cell oriented strokes whose brightness is
+// the learned positive weight of that orientation) used to verify that
+// a pedestrian SVM has learned the expected vertical-contour template.
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+// CellWeights aggregates a window descriptor-shaped weight vector into
+// per-cell, per-bin totals, summing each cell's contributions across
+// every block it belongs to. The result is indexed [cellY][cellX][bin].
+func CellWeights(cfg hog.Config, w []float64) ([][][]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w) != cfg.DescriptorLen() {
+		return nil, fmt.Errorf("viz: weight length %d, want %d", len(w), cfg.DescriptorLen())
+	}
+	cx, cy := cfg.CellsX(), cfg.CellsY()
+	out := make([][][]float64, cy)
+	for j := range out {
+		out[j] = make([][]float64, cx)
+		for i := range out[j] {
+			out[j][i] = make([]float64, cfg.NBins)
+		}
+	}
+	idx := 0
+	for by := 0; by+cfg.BlockCells <= cy; by += cfg.BlockStride {
+		for bx := 0; bx+cfg.BlockCells <= cx; bx += cfg.BlockStride {
+			for j := 0; j < cfg.BlockCells; j++ {
+				for i := 0; i < cfg.BlockCells; i++ {
+					for b := 0; b < cfg.NBins; b++ {
+						out[by+j][bx+i][b] += w[idx]
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderHoGWeights draws the positive part of a descriptor-shaped
+// weight vector as a glyph image: each cell becomes a cellPx-square
+// tile containing oriented strokes (edge orientation = gradient
+// direction + 90 degrees), brightness proportional to the cell's
+// normalized positive weight for that bin.
+func RenderHoGWeights(cfg hog.Config, w []float64, cellPx int) (*imgproc.Image, error) {
+	if cellPx < 3 {
+		return nil, fmt.Errorf("viz: cellPx %d too small", cellPx)
+	}
+	cells, err := CellWeights(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	cx, cy := cfg.CellsX(), cfg.CellsY()
+	img := imgproc.New(cx*cellPx, cy*cellPx)
+
+	// Normalize by the global positive maximum.
+	var maxW float64
+	for _, row := range cells {
+		for _, h := range row {
+			for _, v := range h {
+				if v > maxW {
+					maxW = v
+				}
+			}
+		}
+	}
+	if maxW == 0 {
+		return img, nil
+	}
+	span := 180.0
+	if cfg.Signed {
+		span = 360.0
+	}
+	r := float64(cellPx)/2 - 0.5
+	for j := 0; j < cy; j++ {
+		for i := 0; i < cx; i++ {
+			ccx := float64(i*cellPx) + float64(cellPx)/2
+			ccy := float64(j*cellPx) + float64(cellPx)/2
+			for b, v := range cells[j][i] {
+				if v <= 0 {
+					continue
+				}
+				intensity := v / maxW
+				// Gradient direction of the bin center; the visible
+				// edge runs perpendicular to it.
+				grad := (float64(b) + 0.5) * span / float64(cfg.NBins)
+				edge := (grad + 90) * math.Pi / 180
+				dx := math.Cos(edge)
+				dy := -math.Sin(edge) // image y grows downward
+				strokeLine(img, ccx-dx*r, ccy-dy*r, ccx+dx*r, ccy+dy*r, intensity)
+			}
+		}
+	}
+	return img, nil
+}
+
+// strokeLine additively draws a line with max-blending so overlapping
+// strokes keep the brightest value.
+func strokeLine(m *imgproc.Image, x0, y0, x1, y1, v float64) {
+	steps := int(math.Hypot(x1-x0, y1-y0)*2) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		x := int(math.Round(x0 + t*(x1-x0)))
+		y := int(math.Round(y0 + t*(y1-y0)))
+		if x < 0 || x >= m.W || y < 0 || y >= m.H {
+			continue
+		}
+		if cur := m.Pix[y*m.W+x]; v > cur {
+			m.Pix[y*m.W+x] = v
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"testing"
+
+	"repro/internal/hog"
+)
+
+func TestCellWeightsAggregation(t *testing.T) {
+	cfg := hog.Reference()
+	w := make([]float64, cfg.DescriptorLen())
+	for i := range w {
+		w[i] = 1
+	}
+	cells, err := CellWeights(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 || len(cells[0]) != 8 {
+		t.Fatalf("cell grid %dx%d", len(cells[0]), len(cells))
+	}
+	// A corner cell belongs to exactly one block; an interior cell to
+	// four. With all-ones weights the per-bin totals equal the block
+	// membership count.
+	if cells[0][0][0] != 1 {
+		t.Errorf("corner cell weight = %v, want 1", cells[0][0][0])
+	}
+	if cells[5][4][0] != 4 {
+		t.Errorf("interior cell weight = %v, want 4", cells[5][4][0])
+	}
+	// Total mass conserved.
+	var total float64
+	for _, row := range cells {
+		for _, h := range row {
+			for _, v := range h {
+				total += v
+			}
+		}
+	}
+	if int(total) != cfg.DescriptorLen() {
+		t.Errorf("mass %v, want %d", total, cfg.DescriptorLen())
+	}
+}
+
+func TestCellWeightsErrors(t *testing.T) {
+	cfg := hog.Reference()
+	if _, err := CellWeights(cfg, make([]float64, 5)); err == nil {
+		t.Error("wrong length should error")
+	}
+	bad := cfg
+	bad.CellSize = 0
+	if _, err := CellWeights(bad, nil); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestRenderHoGWeights(t *testing.T) {
+	cfg := hog.Reference()
+	w := make([]float64, cfg.DescriptorLen())
+	// Put weight only on bin 0 (gradient at ~0 deg -> vertical edge
+	// stroke) of one known cell: block (0,0), cell (0,0), bin 0.
+	w[0] = 1
+	img, err := RenderHoGWeights(cfg, w, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 8*9 || img.H != 16*9 {
+		t.Fatalf("image %dx%d", img.W, img.H)
+	}
+	// The stroke lives inside the first 9x9 tile and is near-vertical:
+	// center column pixels lit, elsewhere dark.
+	if img.At(4, 4) == 0 {
+		t.Error("expected stroke at tile center")
+	}
+	if img.At(40, 40) != 0 {
+		t.Error("unexpected ink far from the weighted cell")
+	}
+	// Zero weights render a blank image without error.
+	blank, err := RenderHoGWeights(cfg, make([]float64, cfg.DescriptorLen()), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range blank.Pix {
+		if v != 0 {
+			t.Fatal("blank render has ink")
+		}
+	}
+	if _, err := RenderHoGWeights(cfg, w, 2); err == nil {
+		t.Error("tiny cellPx should error")
+	}
+}
