@@ -1,0 +1,37 @@
+# Build/verify entry points. `make check` is the CI gate; the bench
+# targets regenerate the paper's evaluation with or without a
+# telemetry snapshot.
+
+GO ?= go
+
+.PHONY: build test check vet race bench bench-obs clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the concurrency-sensitive packages under the race
+# detector: the telemetry registry, the simulator, and the
+# data-parallel trainer.
+race:
+	$(GO) test -race ./internal/obs ./internal/truenorth ./internal/eedn
+
+check: build vet test race
+
+# bench regenerates the paper's tables/figures as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# bench-obs is bench with telemetry on, writing a machine-readable
+# snapshot (simulator counters, training series, detection timings)
+# via the internal/obs exporter.
+bench-obs:
+	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -bench=. -benchmem -run '^$$'
+
+clean:
+	rm -f BENCH_obs.json

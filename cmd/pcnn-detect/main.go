@@ -19,7 +19,18 @@ import (
 	"repro/internal/detect"
 	"repro/internal/hog"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 )
+
+// tele carries the -metrics/-metrics-addr/-trace-out telemetry flags.
+var tele obs.CLI
+
+// die reports err, flushes any requested telemetry output, and exits.
+func die(v ...any) {
+	fmt.Fprintln(os.Stderr, v...)
+	_ = tele.Finish()
+	os.Exit(1)
+}
 
 func main() {
 	paradigm := flag.String("paradigm", "napprox-fp", "feature paradigm: fpga, napprox-fp, napprox")
@@ -28,7 +39,10 @@ func main() {
 	in := flag.String("in", "", "detect on this PGM image instead of a synthetic scene")
 	pgmOut := flag.String("pgm-out", "", "write the scene image here as PGM")
 	threshold := flag.Float64("threshold", 0, "detection score threshold")
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	tele.MustStart()
+	root := obs.StartSpan("pcnn-detect")
 
 	var p core.Paradigm
 	switch *paradigm {
@@ -44,17 +58,17 @@ func main() {
 	}
 	ext, err := core.NewExtractor(p, hog.NormL2)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 
 	fmt.Println("co-training detector on synthetic windows...")
 	ts := dataset.NewGenerator(1).TrainSet(120, 240)
 	cfg := core.DefaultSVMTrainConfig()
+	sp := root.StartChild("core.TrainSVMPartition")
 	part, err := core.TrainSVMPartition(p, ext, ts, cfg)
+	sp.End()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 
 	var img *imgproc.Image
@@ -62,14 +76,12 @@ func main() {
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(err)
 		}
 		img, err = imgproc.ReadPGM(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(err)
 		}
 	} else {
 		scene := dataset.NewGenerator(*sceneSeed).Scene(640, 480, *persons, 140, 380)
@@ -81,10 +93,11 @@ func main() {
 	dcfg.Threshold = *threshold
 	det, err := part.Detector(dcfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
+	sp = root.StartChild("detect.Detect")
 	dets := det.Detect(img)
+	sp.End()
 	fmt.Printf("%d detections on %dx%d image:\n", len(dets), img.W, img.H)
 	for i, d := range dets {
 		match := ""
@@ -112,14 +125,14 @@ func main() {
 		}
 		f, err := os.Create(*pgmOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(err)
 		}
 		defer f.Close()
 		if err := imgproc.WritePGM(f, annotated); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("annotated scene written to %s (white: detections, black: ground truth)\n", *pgmOut)
 	}
+	root.End()
+	tele.MustFinish()
 }

@@ -18,15 +18,23 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 var csvDir = flag.String("csv", "", "also write figure series as CSV files into this directory")
+
+// tele carries the -metrics/-metrics-addr/-trace-out telemetry flags,
+// so every figure regeneration can emit a machine-readable snapshot
+// alongside its tables.
+var tele obs.CLI
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: table1, table2, fig4, fig5, fig6, absorbed, hwval, throughput, all")
 	full := flag.Bool("full", false, "use the paper-protocol-sized configuration (slow)")
 	cells := flag.Int("hwcells", 200, "cells for the hardware/software validation")
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	tele.MustStart()
 
 	cfg := experiments.Small()
 	if *full {
@@ -37,8 +45,12 @@ func main() {
 		switch *exp {
 		case name, "all":
 			fmt.Printf("==== %s ====\n", name)
-			if err := fn(); err != nil {
+			sp := obs.StartSpan("pcnn-eval." + name)
+			err := fn()
+			sp.End()
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				_ = tele.Finish()
 				os.Exit(1)
 			}
 			fmt.Println()
@@ -60,6 +72,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	tele.MustFinish()
 }
 
 func printTable1() error {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/imgproc"
 	"repro/internal/napprox"
+	"repro/internal/obs"
 	"repro/internal/truenorth"
 )
 
@@ -32,7 +33,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "stochastic threshold seed")
 	export := flag.String("export-napprox", "", "write the NApprox cell corelet as a model file and exit")
 	demo := flag.Bool("demo", false, "build the NApprox corelet, save, reload and run a ramp cell")
+	var tele obs.CLI
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	tele.MustStart()
+	defer tele.MustFinish()
 
 	switch {
 	case *export != "":
@@ -40,11 +45,19 @@ func main() {
 			fail(err)
 		}
 	case *demo:
-		if err := runDemo(); err != nil {
+		sp := obs.StartSpan("pcnn-sim.demo")
+		err := runDemo()
+		sp.End()
+		if err != nil {
+			_ = tele.Finish()
 			fail(err)
 		}
 	case *modelPath != "":
-		if err := runModel(*modelPath, *spikesPath, *ticks, *seed); err != nil {
+		sp := obs.StartSpan("pcnn-sim.run")
+		err := runModel(*modelPath, *spikesPath, *ticks, *seed)
+		sp.End()
+		if err != nil {
+			_ = tele.Finish()
 			fail(err)
 		}
 	default:

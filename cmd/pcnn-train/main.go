@@ -19,10 +19,21 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/hog"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/parrot"
 	"repro/internal/svm"
 	"repro/internal/viz"
 )
+
+// tele carries the -metrics/-metrics-addr/-trace-out telemetry flags.
+var tele obs.CLI
+
+// die reports err, flushes any requested telemetry output, and exits.
+func die(v ...any) {
+	fmt.Fprintln(os.Stderr, v...)
+	_ = tele.Finish()
+	os.Exit(1)
+}
 
 func main() {
 	paradigm := flag.String("paradigm", "napprox", "feature paradigm: fpga, napprox-fp, napprox, parrot")
@@ -33,7 +44,10 @@ func main() {
 	out := flag.String("out", "", "write the trained SVM model JSON here")
 	vizOut := flag.String("viz", "", "render the SVM weight glyphs to this PNG/PGM (svm head)")
 	mining := flag.Int("mine", 1, "hard-negative mining rounds (svm head)")
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	tele.MustStart()
+	root := obs.StartSpan("pcnn-train")
 
 	norm := hog.NormL2
 	if *head == "eedn" {
@@ -61,7 +75,9 @@ func main() {
 		opt := parrot.DefaultTrainOptions()
 		var pe *parrot.Extractor
 		var loss float64
+		sp := root.StartChild("parrot.Train")
 		pe, loss, err = parrot.Train(opt)
+		sp.End()
 		if err == nil {
 			fmt.Printf("parrot training loss: %.4f\n", loss)
 			if norm == hog.NormL2 {
@@ -74,8 +90,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 
 	fmt.Printf("generating %d positives, %d negatives (seed %d)...\n", *nPos, *nNeg, *seed)
@@ -85,10 +100,11 @@ func main() {
 	case "svm":
 		cfg := core.DefaultSVMTrainConfig()
 		cfg.HardNegativeRounds = *mining
+		sp := root.StartChild("core.TrainSVMPartition")
 		part, err := core.TrainSVMPartition(p, ext, ts, cfg)
+		sp.End()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(err)
 		}
 		model := part.Classifier.(*svm.Model)
 		fmt.Printf("trained %s + SVM: %d weights, bias %.4f\n",
@@ -97,29 +113,27 @@ func main() {
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				die(err)
 			}
 			defer f.Close()
 			if err := model.Save(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				die(err)
 			}
 			fmt.Printf("model written to %s\n", *out)
 		}
 		if *vizOut != "" {
 			if err := writeWeightGlyphs(*vizOut, *paradigm, norm, model.W); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				die(err)
 			}
 			fmt.Printf("weight glyphs written to %s\n", *vizOut)
 		}
 	case "eedn":
 		cfg := core.DefaultEednTrainConfig()
+		sp := root.StartChild("core.TrainEednPartition")
 		part, err := core.TrainEednPartition(p, ext, ts, cfg)
+		sp.End()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("trained %s + Eedn head (~%d TrueNorth cores for the head)\n",
 			p, part.ClassifierCores)
@@ -128,6 +142,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown head %q\n", *head)
 		os.Exit(2)
 	}
+	root.End()
+	tele.MustFinish()
 }
 
 // writeWeightGlyphs renders the SVM weight vector as HoG glyphs. The

@@ -10,9 +10,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -101,17 +103,36 @@ func NewDetector(e Extractor, s Scorer, cfg Config) (*Detector, error) {
 // coordinates, sorted by descending score.
 func (d *Detector) Detect(img *imgproc.Image) []Detection {
 	raw := d.DetectRaw(img)
-	return NMS(raw, d.Config.NMSEpsilon)
+	kept := NMS(raw, d.Config.NMSEpsilon)
+	if obs.Enabled() {
+		obs.CounterM("detect.nms_in").Add(uint64(len(raw)))
+		obs.CounterM("detect.nms_out").Add(uint64(len(kept)))
+	}
+	return kept
 }
 
 // DetectRaw returns all above-threshold windows before suppression.
+// With telemetry enabled it records, per pyramid level, the windows
+// scanned and the wall-clock time spent, plus an aggregate windows/s
+// gauge; the per-window inner loop itself carries no telemetry.
 func (d *Detector) DetectRaw(img *imgproc.Image) []Detection {
 	cfg := d.Config
 	winW := cfg.WindowCellsX * cfg.CellSize
 	winH := cfg.WindowCellsY * cfg.CellSize
 	levels := imgproc.Pyramid(img, cfg.ScaleFactor, winW, winH, cfg.MaxLevels)
+	measured := obs.Enabled()
+	var scanStart time.Time
+	var totalWindows uint64
+	if measured {
+		scanStart = time.Now()
+	}
 	var out []Detection
 	for li, level := range levels {
+		var levelStart time.Time
+		if measured {
+			levelStart = time.Now()
+		}
+		windows := 0
 		scale := math.Pow(cfg.ScaleFactor, float64(li))
 		grid := d.Extractor.CellGrid(level)
 		cy := len(grid)
@@ -121,6 +142,7 @@ func (d *Detector) DetectRaw(img *imgproc.Image) []Detection {
 		cx := len(grid[0])
 		for gy := 0; gy+cfg.WindowCellsY <= cy; gy += cfg.StrideCells {
 			for gx := 0; gx+cfg.WindowCellsX <= cx; gx += cfg.StrideCells {
+				windows++
 				desc, err := d.Extractor.DescriptorAt(grid, gx, gy)
 				if err != nil {
 					continue
@@ -139,6 +161,20 @@ func (d *Detector) DetectRaw(img *imgproc.Image) []Detection {
 					Score: s,
 				})
 			}
+		}
+		if measured {
+			totalWindows += uint64(windows)
+			obs.HistogramM("detect.level_windows").Observe(float64(windows))
+			obs.HistogramM("detect.level_ms").Observe(float64(time.Since(levelStart).Microseconds()) / 1000)
+		}
+	}
+	if measured {
+		obs.CounterM("detect.images").Inc()
+		obs.CounterM("detect.windows_scanned").Add(totalWindows)
+		obs.CounterM("detect.windows_above_threshold").Add(uint64(len(out)))
+		obs.CounterM("detect.pyramid_levels").Add(uint64(len(levels)))
+		if secs := time.Since(scanStart).Seconds(); secs > 0 {
+			obs.GaugeM("detect.windows_per_sec").Set(float64(totalWindows) / secs)
 		}
 	}
 	return out

@@ -324,6 +324,10 @@ func (dep *Deployment) RunPass(sim *truenorth.Simulator, frame []float64) ([]flo
 	for t := 0; t < dep.Latency; t++ {
 		last = sim.Step()
 	}
+	// One reset-to-output pass is the deployment's unit of work;
+	// publish its simulator activity delta (no-op when telemetry is
+	// off, and Reset above zeroed the published baseline).
+	sim.PublishMetrics()
 	out := make([]float64, dep.outDim)
 	for j := range out {
 		if j < len(last) && last[j] {

@@ -142,6 +142,7 @@ func (n *Network) Train(xs, ys [][]float64, cfg TrainConfig) (float64, error) {
 	lr := cfg.LR
 	var epochLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := obsEpochStart()
 		// Reshuffle.
 		for i := len(order) - 1; i > 0; i-- {
 			j := rng.Intn(i + 1)
@@ -164,6 +165,7 @@ func (n *Network) Train(xs, ys [][]float64, cfg TrainConfig) (float64, error) {
 			n.update(lr, cfg.Momentum, inBatch)
 		}
 		epochLoss /= float64(len(xs))
+		obsEpochEnd(epoch, epochLoss, len(xs), epochStart)
 		if cfg.Verbose != nil {
 			cfg.Verbose(epoch, epochLoss)
 		}

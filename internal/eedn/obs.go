@@ -1,0 +1,35 @@
+package eedn
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Telemetry boundaries for SGD training. Instrumentation happens once
+// per epoch — never inside the per-sample loop — so training pays
+// only two Enabled() loads per epoch when the layer is dark.
+
+// obsEpochStart marks the start of a training epoch, returning the
+// zero time when telemetry is off.
+func obsEpochStart() time.Time {
+	if !obs.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// obsEpochEnd records the per-epoch loss series, the epoch counter,
+// and the examples/s throughput gauge.
+func obsEpochEnd(epoch int, loss float64, examples int, start time.Time) {
+	if !obs.Enabled() || start.IsZero() {
+		return
+	}
+	obs.SeriesM("eedn.epoch_loss").Append(float64(epoch), loss)
+	obs.CounterM("eedn.epochs").Inc()
+	obs.CounterM("eedn.examples").Add(uint64(examples))
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		obs.GaugeM("eedn.examples_per_sec").Set(float64(examples) / secs)
+	}
+	obs.HistogramM("eedn.epoch_ms").Observe(float64(time.Since(start).Microseconds()) / 1000)
+}

@@ -3,7 +3,11 @@ package eedn
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Data-parallel training: each worker owns a replica of every layer
@@ -79,13 +83,21 @@ func (c *Conv2D) mergeGradsFrom(replica workerLayer) error {
 }
 
 // TrainParallel is Train with data-parallel batches over `workers`
-// goroutines. workers <= 1 falls back to Train. Results differ from
-// serial training only by floating-point summation order. Speedups
-// require GOMAXPROCS > 1 and batches large enough to amortize the
-// per-batch gradient merge.
+// goroutines. workers <= 1 falls back to Train; workers above
+// runtime.GOMAXPROCS(0) are clamped to it, since extra replicas past
+// the parallelism cap only add gradient-merge overhead (and memory)
+// without any concurrency. Results differ from serial training only
+// by floating-point summation order. Speedups require GOMAXPROCS > 1
+// and batches large enough to amortize the per-batch gradient merge.
 func (n *Network) TrainParallel(xs, ys [][]float64, cfg TrainConfig, workers int) (float64, error) {
+	if maxProcs := runtime.GOMAXPROCS(0); workers > maxProcs {
+		workers = maxProcs
+	}
 	if workers <= 1 {
 		return n.Train(xs, ys, cfg)
+	}
+	if obs.Enabled() {
+		obs.GaugeM("eedn.parallel.workers").Set(float64(workers))
 	}
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return 0, fmt.Errorf("eedn: train set sizes %d/%d", len(xs), len(ys))
@@ -126,7 +138,12 @@ func (n *Network) TrainParallel(xs, ys [][]float64, cfg TrainConfig, workers int
 	lr := cfg.LR
 	var epochLoss float64
 	losses := make([]float64, workers)
+	busy := make([]time.Duration, workers)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := obsEpochStart()
+		for w := range busy {
+			busy[w] = 0
+		}
 		for i := len(order) - 1; i > 0; i-- {
 			j := rng.Intn(i + 1)
 			order[i], order[j] = order[j], order[i]
@@ -138,11 +155,16 @@ func (n *Network) TrainParallel(xs, ys [][]float64, cfg TrainConfig, workers int
 				end = len(order)
 			}
 			batch := order[start:end]
+			measure := obs.Enabled()
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
+					var t0 time.Time
+					if measure {
+						t0 = time.Now()
+					}
 					losses[w] = 0
 					rep := replicas[w]
 					for k := w; k < len(batch); k += workers {
@@ -151,6 +173,9 @@ func (n *Network) TrainParallel(xs, ys [][]float64, cfg TrainConfig, workers int
 						grad := make([]float64, len(out))
 						losses[w] += lossAndGrad(cfg.Loss, out, ys[idx], grad)
 						rep.backward(grad)
+					}
+					if measure {
+						busy[w] += time.Since(t0)
 					}
 				}(w)
 			}
@@ -166,6 +191,20 @@ func (n *Network) TrainParallel(xs, ys [][]float64, cfg TrainConfig, workers int
 			n.update(lr, cfg.Momentum, len(batch))
 		}
 		epochLoss /= float64(len(xs))
+		if !epochStart.IsZero() {
+			// Utilization: mean worker busy time over the epoch wall
+			// time. 1.0 means every worker computed the whole epoch;
+			// low values expose merge overhead or stride imbalance.
+			if wall := time.Since(epochStart); wall > 0 {
+				var total time.Duration
+				for _, b := range busy {
+					total += b
+				}
+				util := float64(total) / (float64(workers) * float64(wall))
+				obs.GaugeM("eedn.parallel.worker_utilization").Set(util)
+			}
+		}
+		obsEpochEnd(epoch, epochLoss, len(xs), epochStart)
 		if cfg.Verbose != nil {
 			cfg.Verbose(epoch, epochLoss)
 		}

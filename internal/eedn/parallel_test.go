@@ -3,8 +3,22 @@ package eedn
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
+
+// withProcs raises GOMAXPROCS to at least n for the test, so the
+// replica/merge path is exercised even on single-CPU machines now
+// that TrainParallel clamps its worker count to GOMAXPROCS(0).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev >= n {
+		return
+	}
+	runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
 
 // parallelTask builds a learnable binary problem.
 func parallelTask(n int, seed int64) (xs, ys [][]float64) {
@@ -30,6 +44,7 @@ func parallelTask(n int, seed int64) (xs, ys [][]float64) {
 }
 
 func TestTrainParallelLearns(t *testing.T) {
+	withProcs(t, 4)
 	rng := rand.New(rand.NewSource(7))
 	net, err := NewClassifierNet(16, 32, 1, rng)
 	if err != nil {
@@ -54,6 +69,7 @@ func TestTrainParallelLearns(t *testing.T) {
 }
 
 func TestTrainParallelDeterministicPerWorkerCount(t *testing.T) {
+	withProcs(t, 3)
 	build := func() *Network {
 		rng := rand.New(rand.NewSource(7))
 		net, _ := NewClassifierNet(16, 16, 1, rng)
@@ -79,6 +95,7 @@ func TestTrainParallelDeterministicPerWorkerCount(t *testing.T) {
 }
 
 func TestTrainParallelMatchesSerialQuality(t *testing.T) {
+	withProcs(t, 4)
 	xs, ys := parallelTask(200, 9)
 	cfg := DefaultTrainConfig()
 	cfg.Loss = LossHinge
@@ -110,6 +127,7 @@ func TestTrainParallelMatchesSerialQuality(t *testing.T) {
 }
 
 func TestTrainParallelFallbackAndErrors(t *testing.T) {
+	withProcs(t, 4)
 	rng := rand.New(rand.NewSource(1))
 	net, _ := NewClassifierNet(4, 8, 1, rng)
 	xs, ys := parallelTask(8, 1)

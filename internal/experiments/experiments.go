@@ -30,6 +30,7 @@ import (
 	"repro/internal/hog"
 	"repro/internal/imgproc"
 	"repro/internal/napprox"
+	"repro/internal/obs"
 	"repro/internal/parrot"
 	"repro/internal/power"
 	"repro/internal/stats"
@@ -139,6 +140,43 @@ func evalPartition(name string, part *core.Partition, cfg Config) (CurveResult, 
 	return CurveResult{Name: name, Curve: curve, LAMR: detect.LogAvgMissRate(curve)}, nil
 }
 
+// publishCoreletActivity drives the NApprox cell corelet on the
+// TrueNorth simulator over a small sample of synthetic cells. The
+// figure experiments score their curves with the bit-equivalent
+// software extractors, which never touch the simulator; when telemetry
+// is enabled this samples the spiking design those curves stand for,
+// so figure snapshots carry real spike/tick/energy counters. No-op
+// when telemetry is off; never fails the experiment.
+func publishCoreletActivity(cells int, seed int64) {
+	if !obs.Enabled() {
+		return
+	}
+	mod, err := napprox.BuildCellModule(napprox.TrueNorthConfig())
+	if err != nil {
+		return
+	}
+	sim, err := truenorth.NewSimulator(mod.Model, 1)
+	if err != nil {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cell := imgproc.New(10, 10)
+	for i := 0; i < cells; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		amp := 0.05 + rng.Float64()*0.2
+		for y := 0; y < 10; y++ {
+			for x := 0; x < 10; x++ {
+				v := 0.5 + amp*(math.Cos(theta)*float64(x)-math.Sin(theta)*float64(y))/2
+				cell.Set(x, y, v+(rng.Float64()-0.5)*0.1)
+			}
+		}
+		cell.Clamp01()
+		if _, err := mod.Extract(sim, cell); err != nil {
+			return
+		}
+	}
+}
+
 // trainSet returns the shared training windows for a config.
 func trainSet(cfg Config) dataset.TrainSet {
 	return dataset.NewGenerator(cfg.Seed).TrainSet(cfg.TrainPos, cfg.TrainNeg)
@@ -149,6 +187,7 @@ func trainSet(cfg Config) dataset.TrainSet {
 // quantized NApprox, all with L2 block normalization and hard-negative
 // mining, should produce comparable curves.
 func Fig4(cfg Config) ([]CurveResult, error) {
+	publishCoreletActivity(32, cfg.Seed)
 	ts := trainSet(cfg)
 	svmCfg := cfg.SVM
 	svmCfg.HardNegativeRounds = cfg.HardNegRounds
@@ -184,6 +223,7 @@ func Fig4(cfg Config) ([]CurveResult, error) {
 // features (block normalization elided, as on TrueNorth) with the same
 // Eedn classifier configuration.
 func Fig5(cfg Config) ([]CurveResult, error) {
+	publishCoreletActivity(32, cfg.Seed)
 	ts := trainSet(cfg)
 
 	var out []CurveResult

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPublishCoreletActivity checks the telemetry sample the figure
+// experiments attach to their snapshots: with telemetry enabled it
+// must drive the NApprox corelet on the simulator and leave non-zero
+// spike/tick counters in the default registry; disabled it must touch
+// nothing.
+func TestPublishCoreletActivity(t *testing.T) {
+	obs.Default().Reset()
+	obs.Disable()
+	publishCoreletActivity(2, 1)
+	if n := obs.CounterM("truenorth.ticks").Value(); n != 0 {
+		t.Fatalf("disabled sample published %d ticks, want 0", n)
+	}
+
+	obs.Default().Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Default().Reset()
+	})
+	publishCoreletActivity(4, 1)
+	if n := obs.CounterM("truenorth.ticks").Value(); n == 0 {
+		t.Fatal("enabled sample published no simulator ticks")
+	}
+	if n := obs.CounterM("truenorth.spikes_routed").Value(); n == 0 {
+		t.Fatal("enabled sample published no routed spikes")
+	}
+	if n := obs.CounterM("truenorth.runs").Value(); n != 4 {
+		t.Fatalf("runs counter = %d, want 4 (one per cell)", n)
+	}
+	if e := obs.GaugeM("truenorth.active_energy_joules").Value(); e <= 0 {
+		t.Fatalf("active energy gauge = %g, want > 0", e)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI bundles the telemetry flags every pcnn command exposes, so the
+// four mains wire the layer identically:
+//
+//	var tele obs.CLI
+//	tele.Register(flag.CommandLine)
+//	flag.Parse()
+//	defer tele.MustFinish()
+//	tele.MustStart()
+type CLI struct {
+	// Metrics is the -metrics path; a final registry snapshot is
+	// written there (.csv selects CSV, otherwise JSON).
+	Metrics string
+	// MetricsAddr is the -metrics-addr listen address for the live
+	// metrics + pprof HTTP endpoint.
+	MetricsAddr string
+	// TraceOut is the -trace-out path for the span-tree timing trace.
+	TraceOut string
+
+	shutdown func()
+}
+
+// Register installs -metrics, -metrics-addr and -trace-out on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Metrics, "metrics", "", "write a telemetry snapshot to this file on exit (.json or .csv)")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write the span timing trace to this file on exit")
+}
+
+// Active reports whether any telemetry flag was set.
+func (c *CLI) Active() bool {
+	return c.Metrics != "" || c.MetricsAddr != "" || c.TraceOut != ""
+}
+
+// Start enables collection when any flag was given and starts the
+// HTTP endpoint when -metrics-addr was set.
+func (c *CLI) Start() error {
+	if !c.Active() {
+		return nil
+	}
+	Enable()
+	if c.MetricsAddr != "" {
+		addr, stop, err := Serve(c.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("obs: metrics endpoint: %w", err)
+		}
+		c.shutdown = stop
+		fmt.Fprintf(os.Stderr, "obs: serving metrics and pprof on http://%s\n", addr)
+	}
+	return nil
+}
+
+// Finish writes the snapshot and trace files requested by the flags
+// and stops the HTTP endpoint.
+func (c *CLI) Finish() error {
+	if c.shutdown != nil {
+		c.shutdown()
+		c.shutdown = nil
+	}
+	if c.Metrics != "" {
+		if err := WriteSnapshotFile(c.Metrics); err != nil {
+			return err
+		}
+	}
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := std.WriteSpanTree(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustStart is Start, exiting the process on error.
+func (c *CLI) MustStart() {
+	if err := c.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// MustFinish is Finish, exiting the process on error. Intended for
+// defer in main.
+func (c *CLI) MustFinish() {
+	if err := c.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

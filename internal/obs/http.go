@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTP endpoint for long-running processes: an expvar-style metrics
+// dump plus the standard pprof handlers, so a heavy run can be
+// profiled and watched without stopping it.
+
+// Handler returns an http.Handler serving the registry:
+//
+//	/metrics        JSON snapshot (counters, gauges, histograms, series, spans)
+//	/metrics.csv    the same snapshot as flat CSV
+//	/trace          finished spans as an indented text tree
+//	/debug/pprof/*  net/http/pprof profiling endpoints
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.csv", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := r.WriteCSV(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := r.WriteSpanTree(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the registry's Handler in a
+// background goroutine. It returns the bound address (useful with
+// ":0") and a shutdown func. Serving implies Enable().
+func (r *Registry) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	Enable()
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// Serve starts the default registry's HTTP endpoint.
+func Serve(addr string) (string, func(), error) { return std.Serve(addr) }

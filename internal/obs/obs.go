@@ -1,0 +1,356 @@
+// Package obs is the repo-wide telemetry layer: counters, gauges,
+// histograms and step series behind a lock-cheap registry, span-based
+// wall-clock tracing, JSON/CSV snapshot export, and an optional HTTP
+// endpoint (metrics dump plus net/http/pprof).
+//
+// Telemetry is off by default and every instrumentation site is gated
+// on Enabled(), a single atomic load, so hot paths (simulator ticks,
+// SGD inner loops, sliding-window scans) pay nothing measurable when
+// the layer is dark. Modules additionally instrument at coarse
+// boundaries — per run, per epoch, per pyramid level — never per
+// spike or per window, so even enabled runs stay cheap.
+//
+// The package is dependency-free (standard library only) by design:
+// it sits below every other internal package and must never create an
+// import cycle or pull a vendored dep into the hot path.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates all instrumentation sites. Accessed with atomics so
+// the check is one uncontended load on hot paths.
+var enabled atomic.Bool
+
+// Enable turns telemetry collection on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns telemetry collection off process-wide.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether telemetry collection is on. Instrumentation
+// sites branch on this before doing any work.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Set overwrites the counter, for publishing a module-local tally
+// (e.g. the simulator's spikesRouted field) at a collection boundary.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Gauge is a float64 metric holding the latest observed value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v as the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value Set.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histogramCap bounds per-histogram memory; once full, new samples
+// reservoir-replace old ones so quantiles stay representative.
+const histogramCap = 4096
+
+// Histogram records a distribution of float64 observations and
+// reports exact quantiles over the retained sample set.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	// lcg drives reservoir replacement once samples exceeds
+	// histogramCap; a fixed-seed linear congruential generator keeps
+	// snapshots deterministic for a deterministic observation stream.
+	lcg uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < histogramCap {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Vitter's algorithm R with a deterministic LCG.
+	h.lcg = h.lcg*6364136223846793005 + 1442695040888963407
+	if idx := h.lcg % h.count; idx < uint64(len(h.samples)) {
+		h.samples[idx] = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained
+// samples by linear interpolation, or NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantile(h.sorted(), q)
+}
+
+// sorted returns a sorted copy of the retained samples. Callers hold mu.
+func (h *Histogram) sorted() []float64 {
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	return s
+}
+
+// summary captures the histogram for a snapshot. Callers hold no lock.
+func (h *Histogram) summary() HistogramSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.sorted()
+	sum := HistogramSummary{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		sum.Min, sum.Max = h.min, h.max
+		sum.P50 = quantile(s, 0.5)
+		sum.P90 = quantile(s, 0.9)
+		sum.P99 = quantile(s, 0.99)
+	}
+	return sum
+}
+
+// quantile interpolates the q-quantile of sorted samples s.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// SeriesPoint is one (step, value) observation of a Series.
+type SeriesPoint struct {
+	Step  float64 `json:"step"`
+	Value float64 `json:"value"`
+}
+
+// Series is an append-only ordered sequence of (step, value) pairs,
+// the shape of training curves (epoch -> loss) and per-round tallies.
+type Series struct {
+	mu     sync.Mutex
+	points []SeriesPoint
+}
+
+// Append records one point.
+func (s *Series) Append(step, value float64) {
+	s.mu.Lock()
+	s.points = append(s.points, SeriesPoint{Step: step, Value: value})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the recorded points.
+func (s *Series) Points() []SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SeriesPoint(nil), s.points...)
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Registry holds named metrics. Get-or-create takes a short RWMutex
+// critical section; after first use each call site holds a pointer
+// and updates are lock-free (counters, gauges) or per-metric locked
+// (histograms, series).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+
+	spanMu sync.Mutex
+	spans  []*Span
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		series:     map[string]*Series{},
+	}
+}
+
+// std is the process-wide default registry used by package-level
+// accessors; modules instrument against it so one snapshot covers the
+// whole pipeline.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Series returns the named series, creating it on first use.
+func (r *Registry) Series(name string) *Series {
+	r.mu.RLock()
+	s := r.series[name]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.series[name]; s == nil {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Reset drops every metric and recorded span, returning the registry
+// to empty. Held metric pointers from before the Reset keep working
+// but are no longer visible in snapshots.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.histograms = map[string]*Histogram{}
+	r.series = map[string]*Series{}
+	r.mu.Unlock()
+	r.spanMu.Lock()
+	r.spans = nil
+	r.spanMu.Unlock()
+}
+
+// Package-level accessors against the default registry. They are the
+// form instrumentation sites use:
+//
+//	if obs.Enabled() {
+//	    obs.CounterM("truenorth.spikes_routed").Set(s.spikesRouted)
+//	}
+
+// CounterM returns the named counter from the default registry.
+func CounterM(name string) *Counter { return std.Counter(name) }
+
+// GaugeM returns the named gauge from the default registry.
+func GaugeM(name string) *Gauge { return std.Gauge(name) }
+
+// HistogramM returns the named histogram from the default registry.
+func HistogramM(name string) *Histogram { return std.Histogram(name) }
+
+// SeriesM returns the named series from the default registry.
+func SeriesM(name string) *Series { return std.Series(name) }
+
+// sortedKeys returns map keys in lexical order, for deterministic
+// exports.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtFloat renders a float for CSV export.
+func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }

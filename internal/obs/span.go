@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span tracing: a Span measures the wall-clock extent of one pipeline
+// phase (a figure regeneration, a training run, one detection pass)
+// and nests explicitly — children are created from their parent, so
+// traces stay correct under concurrency without goroutine-local state.
+
+// Span is one timed region. Create roots with StartSpan (or
+// Registry.StartSpan) and children with StartChild; call End exactly
+// once. A nil *Span is a valid no-op receiver, which is what span
+// constructors return while telemetry is disabled.
+type Span struct {
+	Name  string
+	Start time.Time
+	Stop  time.Time
+
+	mu       sync.Mutex
+	children []*Span
+	reg      *Registry
+	root     bool
+}
+
+// StartSpan opens a root span on the registry. Returns nil (a no-op
+// span) when telemetry is disabled.
+func (r *Registry) StartSpan(name string) *Span {
+	if !Enabled() {
+		return nil
+	}
+	return &Span{Name: name, Start: time.Now(), reg: r, root: true}
+}
+
+// StartSpan opens a root span on the default registry.
+func StartSpan(name string) *Span { return std.StartSpan(name) }
+
+// StartChild opens a sub-span nested under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End closes the span. Ending a root span records it (and its
+// finished subtree) on the registry for snapshot export.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Stop = time.Now()
+	if s.root && s.reg != nil {
+		s.reg.spanMu.Lock()
+		s.reg.spans = append(s.reg.spans, s)
+		s.reg.spanMu.Unlock()
+	}
+}
+
+// Duration returns the span's wall-clock extent, or the elapsed time
+// so far when the span is still open. Zero for no-op spans.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.Stop.IsZero() {
+		return time.Since(s.Start)
+	}
+	return s.Stop.Sub(s.Start)
+}
+
+// Children returns the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// SpanSummary is the export form of a finished span subtree.
+type SpanSummary struct {
+	Name     string        `json:"name"`
+	StartUS  int64         `json:"start_us"`
+	Millis   float64       `json:"ms"`
+	Children []SpanSummary `json:"children,omitempty"`
+}
+
+// summarize flattens a span subtree relative to epoch (the earliest
+// root start), so exported timings are offsets, not wall-clock dates.
+func (s *Span) summarize(epoch time.Time) SpanSummary {
+	sum := SpanSummary{
+		Name:    s.Name,
+		StartUS: s.Start.Sub(epoch).Microseconds(),
+		Millis:  float64(s.Duration().Microseconds()) / 1000,
+	}
+	for _, c := range s.Children() {
+		sum.Children = append(sum.Children, c.summarize(epoch))
+	}
+	return sum
+}
+
+// Spans returns summaries of every finished root span, in completion
+// order, with starts relative to the earliest root.
+func (r *Registry) Spans() []SpanSummary {
+	r.spanMu.Lock()
+	roots := append([]*Span(nil), r.spans...)
+	r.spanMu.Unlock()
+	if len(roots) == 0 {
+		return nil
+	}
+	epoch := roots[0].Start
+	for _, s := range roots {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	out := make([]SpanSummary, len(roots))
+	for i, s := range roots {
+		out[i] = s.summarize(epoch)
+	}
+	return out
+}
+
+// WriteSpanTree renders the registry's finished spans as an indented
+// text tree with millisecond durations, the -trace-out format.
+func (r *Registry) WriteSpanTree(w io.Writer) error {
+	for _, s := range r.Spans() {
+		if err := writeSpanLine(w, s, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpanLine(w io.Writer, s SpanSummary, depth int) error {
+	if _, err := fmt.Fprintf(w, "%s%-40s %10.3f ms  (+%.3f ms)\n",
+		strings.Repeat("  ", depth), s.Name, s.Millis, float64(s.StartUS)/1000); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpanLine(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

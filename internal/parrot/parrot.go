@@ -22,6 +22,7 @@ import (
 	"repro/internal/hog"
 	"repro/internal/imgproc"
 	"repro/internal/napprox"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -187,6 +188,30 @@ func Train(opt TrainOptions) (*Extractor, float64, error) {
 		ys[i] = t
 	}
 	opt.Train.Loss = eedn.LossHinge
+	if obs.Enabled() {
+		// Track mimicry fidelity as it develops: each epoch, measure
+		// the HoG-correlation on a fixed subsample through a probe
+		// extractor sharing the live network weights. Only runs with
+		// telemetry on — it adds a few hundred forward passes per
+		// epoch.
+		probeN := len(samples)
+		if probeN > 256 {
+			probeN = 256
+		}
+		probeSamples := samples[:probeN]
+		if probe, perr := NewExtractor(net, 0, false, nil); perr == nil {
+			inner := opt.Train.Verbose
+			opt.Train.Verbose = func(epoch int, epochLoss float64) {
+				if corr, cerr := MimicryCorrelation(probe, probeSamples); cerr == nil {
+					obs.SeriesM("parrot.mimicry_corr").Append(float64(epoch), corr)
+				}
+				obs.SeriesM("parrot.epoch_loss").Append(float64(epoch), epochLoss)
+				if inner != nil {
+					inner(epoch, epochLoss)
+				}
+			}
+		}
+	}
 	loss, err := net.Train(xs, ys, opt.Train)
 	if err != nil {
 		return nil, 0, err

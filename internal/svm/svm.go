@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Model is a linear decision function Score(x) = W.x + B; positive
@@ -127,7 +129,9 @@ func Train(pos, neg [][]float64, opt TrainOptions) (*Model, error) {
 
 	rng := rand.New(rand.NewSource(opt.Seed))
 	order := rng.Perm(n)
+	iters := 0
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		iters = epoch + 1
 		for i := len(order) - 1; i > 0; i-- {
 			j := rng.Intn(i + 1)
 			order[i], order[j] = order[j], order[i]
@@ -189,6 +193,12 @@ func Train(pos, neg [][]float64, opt TrainOptions) (*Model, error) {
 		}
 	}
 
+	if obs.Enabled() {
+		obs.CounterM("svm.trainings").Inc()
+		obs.CounterM("svm.train.iterations").Add(uint64(iters))
+		obs.HistogramM("svm.train.epochs_to_converge").Observe(float64(iters))
+		obs.GaugeM("svm.train.examples").Set(float64(n))
+	}
 	m := &Model{W: make([]float64, dim)}
 	copy(m.W, w[:dim])
 	if opt.BiasScale > 0 {
@@ -218,6 +228,9 @@ func TrainHardNegative(pos, neg [][]float64, mine HardNegativeMiner, rounds int,
 	negs := append([][]float64(nil), neg...)
 	for r := 0; r < rounds; r++ {
 		hard := mine(model)
+		if obs.Enabled() {
+			obs.SeriesM("svm.mined_negatives").Append(float64(r), float64(len(hard)))
+		}
 		if len(hard) == 0 {
 			break
 		}
@@ -227,6 +240,9 @@ func TrainHardNegative(pos, neg [][]float64, mine HardNegativeMiner, rounds int,
 		if err != nil {
 			return nil, mined, err
 		}
+	}
+	if obs.Enabled() {
+		obs.CounterM("svm.mined_negatives_total").Add(uint64(mined))
 	}
 	return model, mined, nil
 }

@@ -1,0 +1,73 @@
+package truenorth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEnergyConsistencyWithObsMetrics verifies that the two
+// observation paths agree: the spike/synapse/fire counts published to
+// the obs registry must equal what CollectEnergy reports for the same
+// run, and the exported energy gauge must equal ActiveEnergyJoules
+// recomputed from the exported counters.
+func TestEnergyConsistencyWithObsMetrics(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable()
+	defer func() {
+		if !prev {
+			obs.Disable()
+		}
+	}()
+	baseline := EnergyStats{
+		Ticks:          obs.CounterM("truenorth.ticks").Value(),
+		SynapticEvents: obs.CounterM("truenorth.synaptic_events").Value(),
+		NeuronFires:    obs.CounterM("truenorth.neuron_fires").Value(),
+		SpikesRouted:   obs.CounterM("truenorth.spikes_routed").Value(),
+	}
+
+	m := buildRelay(t)
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(16, func(tk int) []int {
+		if tk%3 == 0 {
+			return []int{0}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := CollectEnergy(sim)
+	if direct.SpikesRouted == 0 || direct.SynapticEvents == 0 {
+		t.Fatal("run produced no activity; test is vacuous")
+	}
+	published := EnergyStats{
+		Ticks:          obs.CounterM("truenorth.ticks").Value() - baseline.Ticks,
+		SynapticEvents: obs.CounterM("truenorth.synaptic_events").Value() - baseline.SynapticEvents,
+		NeuronFires:    obs.CounterM("truenorth.neuron_fires").Value() - baseline.NeuronFires,
+		SpikesRouted:   obs.CounterM("truenorth.spikes_routed").Value() - baseline.SpikesRouted,
+	}
+	if published != direct {
+		t.Errorf("obs counters %+v disagree with CollectEnergy %+v", published, direct)
+	}
+
+	// The exported gauge holds the energy of the registry's cumulative
+	// totals; recomputing from those totals must match exactly.
+	totals := EnergyStats{
+		Ticks:          obs.CounterM("truenorth.ticks").Value(),
+		SynapticEvents: obs.CounterM("truenorth.synaptic_events").Value(),
+		NeuronFires:    obs.CounterM("truenorth.neuron_fires").Value(),
+		SpikesRouted:   obs.CounterM("truenorth.spikes_routed").Value(),
+	}
+	gauge := obs.GaugeM("truenorth.active_energy_joules").Value()
+	if want := totals.ActiveEnergyJoules(); math.Abs(gauge-want) > 1e-18 {
+		t.Errorf("energy gauge = %v, want %v from exported counters", gauge, want)
+	}
+	if direct.ActiveEnergyJoules() <= 0 {
+		t.Error("direct energy should be positive")
+	}
+}

@@ -3,6 +3,9 @@ package truenorth
 import (
 	"fmt"
 	"math/rand"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Simulator advances a Model tick by tick. Spikes fired during tick t
@@ -24,6 +27,11 @@ type Simulator struct {
 	spikesRouted uint64
 	// trace, when non-nil, records every neuron firing.
 	trace *Trace
+	// published remembers the activity already exported to the obs
+	// registry, so PublishMetrics adds only the delta and repeated
+	// Reset/Run cycles (one per extracted cell) accumulate instead of
+	// overwriting.
+	published EnergyStats
 }
 
 // NewSimulator prepares a simulator for model. seed drives stochastic
@@ -142,6 +150,10 @@ func (s *Simulator) Step() []bool {
 // pins to spike on that tick. The result is the per-tick output spike
 // count for each output pin, accumulated over the run.
 func (s *Simulator) Run(ticks int, inputFn func(t int) []int) ([]int, error) {
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
 	counts := make([]int, s.model.NumOutputs())
 	for t := 0; t < ticks; t++ {
 		if inputFn != nil {
@@ -156,11 +168,62 @@ func (s *Simulator) Run(ticks int, inputFn func(t int) []int) ([]int, error) {
 			}
 		}
 	}
+	if obs.Enabled() {
+		if secs := time.Since(start).Seconds(); secs > 0 && ticks > 0 {
+			obs.GaugeM("truenorth.ticks_per_sec").Set(float64(ticks) / secs)
+		}
+		s.PublishMetrics()
+	}
 	return counts, nil
 }
 
-// Reset returns the simulator (and all core membrane potentials) to
-// the initial state, keeping the RNG stream position.
+// PublishMetrics exports the simulator's activity since the previous
+// publish (or Reset) to the default obs registry: tick/spike/synapse
+// counters accumulate across Reset/Run cycles, the energy gauge
+// tracks the running total, and a per-run histogram records routed
+// spikes per run. The hot Step loop keeps its module-local counters;
+// this publishes them at a collection boundary, so simulation pays no
+// per-tick telemetry cost. Run calls it automatically when telemetry
+// is on.
+func (s *Simulator) PublishMetrics() {
+	if !obs.Enabled() {
+		return
+	}
+	e := CollectEnergy(s)
+	dTicks := e.Ticks - s.published.Ticks
+	dRouted := e.SpikesRouted - s.published.SpikesRouted
+	obs.CounterM("truenorth.ticks").Add(dTicks)
+	obs.CounterM("truenorth.spikes_routed").Add(dRouted)
+	obs.CounterM("truenorth.synaptic_events").Add(e.SynapticEvents - s.published.SynapticEvents)
+	obs.CounterM("truenorth.neuron_fires").Add(e.NeuronFires - s.published.NeuronFires)
+	obs.CounterM("truenorth.runs").Inc()
+	s.published = e
+	total := EnergyStats{
+		Ticks:          obs.CounterM("truenorth.ticks").Value(),
+		SynapticEvents: obs.CounterM("truenorth.synaptic_events").Value(),
+		NeuronFires:    obs.CounterM("truenorth.neuron_fires").Value(),
+		SpikesRouted:   obs.CounterM("truenorth.spikes_routed").Value(),
+	}
+	obs.GaugeM("truenorth.active_energy_joules").Set(total.ActiveEnergyJoules())
+	if total.Ticks > 0 {
+		obs.GaugeM("truenorth.spikes_per_tick").Set(float64(total.SpikesRouted) / float64(total.Ticks))
+	}
+	if dTicks > 0 {
+		obs.HistogramM("truenorth.run_spikes_routed").Observe(float64(dRouted))
+	}
+	h := obs.HistogramM("truenorth.core_fires")
+	for c := 0; c < s.model.NumCores(); c++ {
+		h.Observe(float64(s.model.Core(c).FireEvents()))
+	}
+}
+
+// Reset returns the simulator (and all core membrane potentials and
+// activity counters) to the initial state, keeping the RNG stream
+// position. After Reset, every observable counter — the tick,
+// SpikesRouted, per-core synaptic/fire events, delay-ring contents,
+// the output buffer, and the ring slot pointer — matches a freshly
+// constructed simulator, so run → Reset → rerun reproduces a fresh
+// run exactly for deterministic models.
 func (s *Simulator) Reset() {
 	for c := 0; c < s.model.NumCores(); c++ {
 		s.model.Core(c).ResetState()
@@ -172,8 +235,13 @@ func (s *Simulator) Reset() {
 			}
 		}
 	}
+	for i := range s.outBuf {
+		s.outBuf[i] = false
+	}
+	s.slot = 0
 	s.tick = 0
 	s.spikesRouted = 0
+	s.published = EnergyStats{}
 }
 
 // SpikesRouted returns the number of spikes delivered across the

@@ -1,0 +1,38 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMain wires the bench harness to the telemetry exporter: when
+// BENCH_OBS_OUT names a file, telemetry is enabled for the whole run
+// and the final registry snapshot is written there, so
+//
+//	BENCH_OBS_OUT=BENCH_obs.json go test -bench=. -run '^$'
+//
+// (or `make bench-obs`) captures simulator activity, training series
+// and detection timings alongside the benchmark numbers. Without the
+// variable, telemetry stays off and benchmarks measure the bare
+// pipelines.
+func TestMain(m *testing.M) {
+	out := os.Getenv("BENCH_OBS_OUT")
+	if out != "" {
+		obs.Enable()
+	}
+	code := m.Run()
+	if out != "" {
+		if err := obs.WriteSnapshotFile(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", out)
+		}
+	}
+	os.Exit(code)
+}
