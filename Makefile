@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench bench-obs clean
+.PHONY: build test check vet race lint bench bench-obs clean
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the concurrency-sensitive packages under the race
-# detector: the telemetry registry, the simulator, and the
-# data-parallel trainer.
+# race runs the whole tree under the race detector; the
+# concurrency-sensitive packages (telemetry registry, simulator,
+# data-parallel trainer) get their coverage from their own tests.
 race:
-	$(GO) test -race ./internal/obs ./internal/truenorth ./internal/eedn
+	$(GO) test -race ./...
 
-check: build vet test race
+# lint runs the repo's custom static-analysis suite (determinism,
+# wall-clock, fixed-point, telemetry-gating, and panic invariants)
+# and statically validates the built-in corelet against the TrueNorth
+# hardware envelope. See cmd/pcnn-lint.
+lint:
+	$(GO) run ./cmd/pcnn-lint
+	$(GO) run ./cmd/pcnn-lint -model builtin
+
+check: build vet lint test race
 
 # bench regenerates the paper's tables/figures as benchmarks.
 bench:

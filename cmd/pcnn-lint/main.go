@@ -1,0 +1,146 @@
+// Command pcnn-lint is the repo's static-analysis gate. It has two
+// modes:
+//
+// Source mode (default) runs the custom analyzer suite — detrand,
+// walltime, floatfixed, obsgate, errpanic — over the module (or the
+// directories given as arguments) and exits 1 if any finding survives
+// its //lint:allow directives:
+//
+//	pcnn-lint              # lint the whole module
+//	pcnn-lint internal/... # lint a subtree (trailing /... is ignored)
+//
+// Model mode statically validates a TrueNorth model file against the
+// hardware envelope (fan-in and neuron count per core, weight-LUT
+// indices, delay window, route targets) without constructing the
+// network, reporting every violation instead of stopping at the first:
+//
+//	pcnn-lint -model napprox.json
+//	pcnn-lint -model builtin   # validate the built-in NApprox corelet
+//
+// Warnings (physically questionable but simulable constructs, e.g. an
+// axon driven by several neurons) are printed but do not fail the run
+// unless -strict is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/napprox"
+)
+
+func main() {
+	model := flag.String("model", "", "validate a TrueNorth model file (or 'builtin') instead of linting sources")
+	strict := flag.Bool("strict", false, "treat model warnings as errors")
+	flag.Parse()
+
+	var code int
+	if *model != "" {
+		code = runModel(*model, *strict)
+	} else {
+		code = runSource(flag.Args())
+	}
+	os.Exit(code)
+}
+
+// runSource lints the module sources and returns the exit code.
+func runSource(args []string) int {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcnn-lint:", err)
+		return 2
+	}
+	targets := []string{root}
+	if len(args) > 0 {
+		targets = targets[:0]
+		for _, a := range args {
+			a = strings.TrimSuffix(a, "...")
+			a = strings.TrimSuffix(a, string(filepath.Separator))
+			if a == "." || a == "" {
+				a = root
+			}
+			targets = append(targets, a)
+		}
+	}
+	total := 0
+	for _, dir := range targets {
+		diags, err := analysis.LintRoot(dir, analysis.DefaultAnalyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcnn-lint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		total += len(diags)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "pcnn-lint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// runModel statically validates one model file and returns the exit
+// code.
+func runModel(path string, strict bool) int {
+	spec, err := modelBytes(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcnn-lint:", err)
+		return 2
+	}
+	diags, err := analysis.CheckModelSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcnn-lint:", err)
+		return 2
+	}
+	errors := 0
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", path, d)
+		if d.Severity == analysis.Error || strict {
+			errors++
+		}
+	}
+	if errors > 0 {
+		fmt.Fprintf(os.Stderr, "pcnn-lint: model %s: %d blocking violation(s)\n", path, errors)
+		return 1
+	}
+	fmt.Printf("%s: ok (%d cores checked)\n", path, coreCount(spec))
+	return 0
+}
+
+// modelBytes loads the model spec: a file path, or the built-in
+// NApprox cell corelet serialized on the fly.
+func modelBytes(path string) ([]byte, error) {
+	if path != "builtin" {
+		return os.ReadFile(path)
+	}
+	mod, err := napprox.BuildCellModule(napprox.TrueNorthConfig())
+	if err != nil {
+		return nil, fmt.Errorf("building builtin corelet: %w", err)
+	}
+	var buf strings.Builder
+	if err := mod.Model.Save(&buf); err != nil {
+		return nil, fmt.Errorf("serializing builtin corelet: %w", err)
+	}
+	return []byte(buf.String()), nil
+}
+
+// coreCount reports how many cores the validated spec declares, for
+// the success line only; errors here were already caught by the
+// validator.
+func coreCount(spec []byte) int {
+	n, err := analysis.ModelCoreCount(spec)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+// Package analysis is the repo's custom static-analysis suite,
+// written against the standard library's go/ast and go/parser only
+// (the module deliberately has zero dependencies, so golang.org/x/tools
+// is off limits). It enforces the invariants the paper's methodology
+// rests on — a validated, bit-reproducible simulator under fixed
+// TrueNorth resource constraints:
+//
+//   - detrand:    no global math/rand in the deterministic packages;
+//     RNGs are threaded as seeded *rand.Rand values.
+//   - walltime:   no wall-clock reads outside internal/obs or
+//     obs.Enabled()-gated telemetry boundaries, keeping runs replayable.
+//   - floatfixed: no float arithmetic inside fixed-point datapaths
+//     except through the Q.FromFloat/Q.ToFloat boundary.
+//   - obsgate:    telemetry publishes inside loops must sit behind an
+//     obs.Enabled() check or at a coarse boundary.
+//   - errpanic:   no panic in library packages where error returns are
+//     the convention.
+//
+// Findings are suppressed one call site at a time with a
+//
+//	//lint:allow <analyzer> <reason>
+//
+// directive on the offending line or the line above; the reason is
+// mandatory and unused directives are themselves reported. The package
+// also provides CheckModelSpec, a static validator for TrueNorth model
+// files (the compile-time counterpart of the simulator's runtime
+// checks); see modelcheck.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic as file:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file handed to analyzers.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	// Path is the file path as given to the loader.
+	Path string
+	// Pkg is the slash-separated package directory relative to the
+	// module root, e.g. "internal/truenorth".
+	Pkg string
+	// IsTest reports a _test.go file. Analyzers enforce invariants on
+	// non-test code only.
+	IsTest bool
+}
+
+// PkgName returns the declared package name.
+func (f *File) PkgName() string { return f.AST.Name.Name }
+
+// Diag constructs a diagnostic at node's position.
+func (f *File) Diag(analyzer string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      f.Fset.Position(node.Pos()),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Analyzer is one source check. Run returns raw findings; directive
+// suppression is applied by the driver.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(f *File) []Diagnostic
+}
+
+// DefaultAnalyzers returns the full suite in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{Detrand, Walltime, FloatFixed, ObsGate, ErrPanic}
+}
+
+// LoadFile parses one file into a File. pkg is its module-relative
+// directory.
+func LoadFile(fset *token.FileSet, path, pkg string) (*File, error) {
+	src, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		Fset:   fset,
+		AST:    src,
+		Path:   path,
+		Pkg:    pkg,
+		IsTest: strings.HasSuffix(path, "_test.go"),
+	}, nil
+}
+
+// LintRoot walks the module rooted at root, runs the analyzers over
+// every non-testdata Go file, applies //lint:allow directives, and
+// returns the surviving diagnostics sorted by position. Malformed and
+// unused directives are reported as diagnostics of the "lint"
+// pseudo-analyzer.
+func LintRoot(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+
+	// Package paths are module-relative regardless of which subtree is
+	// being linted, so analyzer scoping (internal/truenorth, ...) works
+	// when pointed at a subdirectory.
+	base := root
+	if mod, err := ModuleRoot(root); err == nil {
+		base = mod
+	}
+
+	fset := token.NewFileSet()
+	var out []Diagnostic
+	for _, path := range paths {
+		rel, err := filepath.Rel(base, path)
+		if err != nil {
+			rel = path
+		}
+		pkg := filepath.ToSlash(filepath.Dir(rel))
+		f, err := LoadFile(fset, path, pkg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		out = append(out, LintFile(f, analyzers)...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// LintFile runs the analyzers over one file and applies its
+// //lint:allow directives.
+func LintFile(f *File, analyzers []*Analyzer) []Diagnostic {
+	dirs := parseDirectives(f)
+	ran := make(map[string]bool, len(analyzers))
+	var out []Diagnostic
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		for _, d := range a.Run(f) {
+			if !dirs.suppress(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	out = append(out, dirs.problems(ran)...)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

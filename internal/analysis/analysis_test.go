@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden expectation files")
+
+// fixtureCase binds one testdata directory to the analyzer under test
+// and the module-relative package paths its files impersonate.
+type fixtureCase struct {
+	name     string
+	analyzer *Analyzer
+	// pkgs maps fixture file name to the package path it poses as;
+	// the "" key is the default for the directory.
+	pkgs map[string]string
+}
+
+var fixtureCases = []fixtureCase{
+	{"detrand", Detrand, map[string]string{"": "internal/truenorth"}},
+	{"walltime", Walltime, map[string]string{"": "internal/eedn"}},
+	{"floatfixed", FloatFixed, map[string]string{
+		"":                 "internal/fixed",
+		"consumer_bad.go":  "internal/hog",
+		"consumer_good.go": "internal/hog",
+	}},
+	{"obsgate", ObsGate, map[string]string{"": "internal/detect"}},
+	{"errpanic", ErrPanic, map[string]string{"": "internal/svm"}},
+	{"directives", ErrPanic, map[string]string{"": "internal/svm"}},
+}
+
+// TestAnalyzerFixtures is the golden-file harness: every analyzer runs
+// over its positive (bad*) and negative (good*) fixtures and the
+// formatted findings must match testdata/<name>/expect.txt exactly.
+// Regenerate with go test ./internal/analysis -run Fixtures -update.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", tc.name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fset := token.NewFileSet()
+			var got []string
+			badFindings, goodFindings := 0, 0
+			for _, e := range entries {
+				if !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				pkg := tc.pkgs[e.Name()]
+				if pkg == "" {
+					pkg = tc.pkgs[""]
+				}
+				f, err := LoadFile(fset, filepath.Join(dir, e.Name()), pkg)
+				if err != nil {
+					t.Fatalf("parse %s: %v", e.Name(), err)
+				}
+				for _, d := range LintFile(f, []*Analyzer{tc.analyzer}) {
+					got = append(got, fmt.Sprintf("%s:%d: %s: %s",
+						filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message))
+					switch {
+					case strings.Contains(e.Name(), "bad"):
+						badFindings++
+					case strings.Contains(e.Name(), "good"):
+						goodFindings++
+					}
+				}
+				if strings.Contains(e.Name(), "bad") && badFindings == 0 {
+					t.Errorf("%s: positive fixture produced no findings; the analyzer would not fail without its check", e.Name())
+				}
+			}
+			if goodFindings != 0 {
+				t.Errorf("negative fixtures produced %d findings; analyzer over-triggers", goodFindings)
+			}
+			sort.Strings(got)
+			text := strings.Join(got, "\n")
+			if len(got) > 0 {
+				text += "\n"
+			}
+
+			golden := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if string(want) != text {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", text, want)
+			}
+		})
+	}
+}
+
+// TestDirectiveSuppression pins the directive semantics the fixture
+// golden file relies on: reasons are mandatory, same-line and
+// line-above placements work, and unused directives surface.
+func TestDirectiveSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := LoadFile(fset, filepath.Join("testdata", "directives", "mixed.go"), "internal/svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := LintFile(f, []*Analyzer{ErrPanic})
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	// One surviving panic (missing-reason directive does not suppress),
+	// one malformed-directive finding, one unused-directive finding.
+	if byAnalyzer["errpanic"] != 1 {
+		t.Errorf("errpanic findings = %d, want 1 (suppressions with reasons must hold)", byAnalyzer["errpanic"])
+	}
+	if byAnalyzer["lint"] != 2 {
+		t.Errorf("lint directive findings = %d, want 2 (malformed + unused)", byAnalyzer["lint"])
+	}
+}
+
+// TestLintRootSelf runs the full default suite over this package's own
+// sources (never testdata), which must be clean — the suite lints the
+// linter.
+func TestLintRootSelf(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := LintRoot(filepath.Join(root, "internal", "analysis"), DefaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

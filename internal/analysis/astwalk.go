@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// AST helpers shared by the analyzers. The suite runs on the standard
+// parser only (no go/types, no golang.org/x/tools), so package
+// references are resolved with the parser's lexical object resolution:
+// an identifier in selector position refers to an imported package iff
+// it is not bound to any local or file-level declaration. That is
+// exactly the distinction that matters for determinism lints — e.g.
+// `rand.Uint32()` on a threaded `rand NoiseSource` parameter is fine,
+// while the same spelling resolving to the math/rand import is not.
+
+// importsOf maps local import names ("rand", "mrand", "obs") to import
+// paths for one file. Dot and blank imports are ignored.
+func importsOf(f *File) map[string]string {
+	out := make(map[string]string, len(f.AST.Imports))
+	for _, spec := range f.AST.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path.Base(p)
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// pkgOfIdent returns the import path id refers to, or "" when id is
+// bound to a local declaration (parameter, variable, field, ...) or
+// does not name an import of this file.
+func pkgOfIdent(f *File, imports map[string]string, id *ast.Ident) string {
+	p, ok := imports[id.Name]
+	if !ok {
+		return ""
+	}
+	if id.Obj != nil {
+		// The parser bound the identifier to a declaration. Only an
+		// import-spec binding still means "the package"; anything else
+		// (a parameter named rand, a local named time) shadows it.
+		if _, isImport := id.Obj.Decl.(*ast.ImportSpec); !isImport {
+			return ""
+		}
+	}
+	return p
+}
+
+// pkgSelector returns (importPath, selName, true) when expr is a
+// selector pkg.Name on an imported, unshadowed package identifier.
+func pkgSelector(f *File, imports map[string]string, expr ast.Expr) (string, string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	p := pkgOfIdent(f, imports, id)
+	if p == "" {
+		return "", "", false
+	}
+	return p, sel.Sel.Name, true
+}
+
+// pkgCall returns (importPath, funcName, true) when call invokes a
+// top-level function of an imported package.
+func pkgCall(f *File, imports map[string]string, call *ast.CallExpr) (string, string, bool) {
+	return pkgSelector(f, imports, call.Fun)
+}
+
+// containsPkgCall reports whether any call to pkg.name occurs within
+// node.
+func containsPkgCall(f *File, imports map[string]string, node ast.Node, pkg, name string) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if p, s, ok := pkgCall(f, imports, call); ok && p == pkg && s == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// walkWithStack traverses f.AST invoking visit with each node and the
+// stack of its ancestors (outermost first, not including n itself).
+func walkWithStack(f *File, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncDecl returns the top-level function declaration in the
+// ancestor stack, or nil for package-level positions.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// insideLoop reports whether the ancestor stack crosses a for/range
+// statement after the innermost function declaration or literal (a
+// loop in an enclosing function does not make a callee's body "inside
+// a loop"; function literals defined inside a loop do count, since
+// they run on the loop's iterations).
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// isInternalPkg reports whether the file's package sits under
+// internal/ (the library tree; cmd/ and examples/ are drivers).
+func isInternalPkg(f *File) bool {
+	return f.Pkg == "internal" || strings.HasPrefix(f.Pkg, "internal/")
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A finding is silenced by
+//
+//	//lint:allow <analyzer> <reason>
+//
+// written either as a trailing comment on the offending line or as a
+// standalone comment on the line immediately above it. The reason is
+// mandatory: an allow without one is itself a finding, as is a
+// directive that suppresses nothing (so stale annotations cannot
+// accumulate).
+
+const directivePrefix = "lint:allow"
+
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+type directiveSet struct {
+	// byLine indexes directives by the source lines they cover (the
+	// directive's own line and the next).
+	byLine    map[int][]*directive
+	all       []*directive
+	malformed []Diagnostic
+}
+
+// parseDirectives extracts every lint:allow directive in f.
+func parseDirectives(f *File) *directiveSet {
+	set := &directiveSet{byLine: map[int][]*directive{}}
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			pos := f.Fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+			if len(fields) < 2 {
+				set.malformed = append(set.malformed, Diagnostic{
+					Pos:      pos,
+					Analyzer: "lint",
+					Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" with a non-empty reason",
+				})
+				continue
+			}
+			d := &directive{pos: pos, analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+			set.all = append(set.all, d)
+			set.byLine[pos.Line] = append(set.byLine[pos.Line], d)
+			set.byLine[pos.Line+1] = append(set.byLine[pos.Line+1], d)
+		}
+	}
+	return set
+}
+
+// suppress reports whether a directive covers d, marking it used.
+func (s *directiveSet) suppress(d Diagnostic) bool {
+	hit := false
+	for _, dir := range s.byLine[d.Pos.Line] {
+		if dir.analyzer == d.Analyzer {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// problems returns malformed-directive findings plus one finding per
+// directive that names a ran analyzer yet suppressed nothing.
+func (s *directiveSet) problems(ran map[string]bool) []Diagnostic {
+	out := append([]Diagnostic(nil), s.malformed...)
+	for _, dir := range s.all {
+		if !dir.used && ran[dir.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "lint",
+				Message:  "unused //lint:allow " + dir.analyzer + " directive (nothing to suppress here)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrPanic enforces the error-return convention in library packages:
+// a panic that escapes a library API crashes the whole pipeline run
+// instead of failing one stage with context. Binaries (package main
+// under cmd/ and examples/) may panic; libraries must return errors.
+// Construction-time invariants for which an error return is
+// structurally impossible (interface-constrained signatures,
+// gonum-style shape checks in hot paths) are annotated explicitly with
+// //lint:allow errpanic <reason>, which keeps every remaining panic a
+// reviewed, justified decision.
+var ErrPanic = &Analyzer{
+	Name: "errpanic",
+	Doc:  "forbid panic in library packages where error returns are the convention",
+	Run:  runErrPanic,
+}
+
+func runErrPanic(f *File) []Diagnostic {
+	if f.IsTest || f.PkgName() == "main" {
+		return nil
+	}
+	if strings.HasPrefix(f.Pkg, "cmd/") || strings.HasPrefix(f.Pkg, "examples/") {
+		return nil
+	}
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if id.Obj != nil {
+			// A local function named panic shadows the builtin.
+			return true
+		}
+		out = append(out, f.Diag("errpanic", call,
+			"panic in library package %s; return an error (or annotate a construction invariant with //lint:allow errpanic <reason>)", f.Pkg))
+		return true
+	})
+	return out
+}

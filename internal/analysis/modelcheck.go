@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Static validation of TrueNorth model files — the compile-time
+// counterpart of the simulator's runtime checks. The Corelet flow's
+// guarantee (and Eedn's "deploy exactly what you trained") only holds
+// if a model respects the physical resource envelope before it ever
+// reaches hardware or the 1:1 simulator: at most 256 axons and 256
+// neurons per core, weight-LUT (axon type) indices below 4, axonal
+// delays within 1..15, and every route and input pin landing on an
+// axon that exists. CheckModelSpec re-derives all of that from the
+// serialized model file alone, without constructing a runtime Model —
+// so a hand-written or corrupted file is rejected with every violation
+// listed, not just the first constructor error.
+//
+// The JSON shape mirrors internal/truenorth/io.go (version 1); a
+// round-trip test keeps the two in sync.
+
+// Severity classifies a model diagnostic.
+type Severity int
+
+const (
+	// Error marks a violation of a hard hardware constraint; the model
+	// must not be deployed or simulated.
+	Error Severity = iota
+	// Warning marks a legal-but-suspicious construct (e.g. an axon
+	// driven by multiple sources, which physical TrueNorth wiring
+	// cannot express even though the simulator merges the spikes).
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// ModelDiag is one finding about a model file.
+type ModelDiag struct {
+	Severity Severity
+	// Path locates the finding inside the model file, e.g.
+	// "cores[3].axon_types[17]" or "routes[0][12]".
+	Path    string
+	Message string
+}
+
+func (d ModelDiag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Severity, d.Path, d.Message)
+}
+
+// Mirror of the version-1 model file schema (truenorth/io.go).
+type specNeuron struct {
+	Weights    [4]int32 `json:"w"`
+	Leak       int32    `json:"leak"`
+	Threshold  int32    `json:"th"`
+	Reset      int32    `json:"reset"`
+	ResetMode  int      `json:"mode"`
+	Floor      int32    `json:"floor"`
+	Stochastic bool     `json:"stoch"`
+	NoiseMask  int32    `json:"noise"`
+}
+
+type specCore struct {
+	Axons     int          `json:"axons"`
+	Neurons   int          `json:"neurons"`
+	AxonTypes []uint8      `json:"axon_types"`
+	Params    []specNeuron `json:"params"`
+	Conn      [][]int      `json:"conn"`
+}
+
+type specTarget struct {
+	Core  int `json:"c"`
+	Axon  int `json:"a"`
+	Delay int `json:"d"`
+}
+
+type modelSpec struct {
+	Version int            `json:"version"`
+	Cores   []specCore     `json:"cores"`
+	Routes  [][]specTarget `json:"routes"`
+	Inputs  []specTarget   `json:"inputs"`
+}
+
+// Hardware envelope constants, duplicated here as plain numbers so the
+// validator stands alone; truenorth_consistency_test.go asserts they
+// match the simulator's.
+const (
+	specCoreSize     = 256
+	specNumAxonTypes = 4
+	specMaxDelay     = 15
+	specExternal     = -1
+)
+
+// CheckModel statically validates a model file read from r. The error
+// is non-nil only for undecodable input; constraint violations are
+// returned as diagnostics.
+func CheckModel(r io.Reader) ([]ModelDiag, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return CheckModelSpec(data)
+}
+
+// CheckModelSpec statically validates a serialized model.
+func CheckModelSpec(data []byte) ([]ModelDiag, error) {
+	var spec modelSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("analysis: decode model: %w", err)
+	}
+	var out []ModelDiag
+	errf := func(path, format string, args ...any) {
+		out = append(out, ModelDiag{Severity: Error, Path: path, Message: fmt.Sprintf(format, args...)})
+	}
+	warnf := func(path, format string, args ...any) {
+		out = append(out, ModelDiag{Severity: Warning, Path: path, Message: fmt.Sprintf(format, args...)})
+	}
+
+	if spec.Version != 1 {
+		errf("version", "unsupported model version %d (want 1)", spec.Version)
+	}
+
+	// Per-core resource envelope.
+	for ci, c := range spec.Cores {
+		p := fmt.Sprintf("cores[%d]", ci)
+		if c.Axons <= 0 || c.Axons > specCoreSize {
+			errf(p, "fan-in %d axons outside (0,%d]", c.Axons, specCoreSize)
+		}
+		if c.Neurons <= 0 || c.Neurons > specCoreSize {
+			errf(p, "%d neurons outside (0,%d]", c.Neurons, specCoreSize)
+		}
+		if len(c.AxonTypes) != c.Axons {
+			errf(p+".axon_types", "%d entries for %d axons", len(c.AxonTypes), c.Axons)
+		}
+		for a, t := range c.AxonTypes {
+			if int(t) >= specNumAxonTypes {
+				errf(fmt.Sprintf("%s.axon_types[%d]", p, a),
+					"weight-LUT index %d out of range [0,%d)", t, specNumAxonTypes)
+			}
+		}
+		if len(c.Params) != c.Neurons {
+			errf(p+".params", "%d entries for %d neurons", len(c.Params), c.Neurons)
+		}
+		for n, np := range c.Params {
+			pp := fmt.Sprintf("%s.params[%d]", p, n)
+			if np.ResetMode != 0 && np.ResetMode != 1 {
+				errf(pp, "reset mode %d not in {0,1}", np.ResetMode)
+			}
+			if np.NoiseMask < 0 {
+				errf(pp, "negative noise mask %d", np.NoiseMask)
+			}
+			if np.Stochastic && np.NoiseMask == 0 {
+				warnf(pp, "stochastic neuron with zero noise mask is deterministic")
+			}
+		}
+		if len(c.Conn) != c.Axons {
+			errf(p+".conn", "%d crossbar rows for %d axons", len(c.Conn), c.Axons)
+		}
+		for a, row := range c.Conn {
+			for _, n := range row {
+				if n < 0 || n >= c.Neurons {
+					errf(fmt.Sprintf("%s.conn[%d]", p, a),
+						"synapse targets neuron %d out of range [0,%d)", n, c.Neurons)
+				}
+			}
+		}
+	}
+
+	// Routing tables: every spike lands on an existing axon (or an
+	// output pin) within the legal delay window.
+	if len(spec.Routes) != len(spec.Cores) {
+		errf("routes", "%d route tables for %d cores", len(spec.Routes), len(spec.Cores))
+	}
+	axonOK := func(core, axon int) bool {
+		return core >= 0 && core < len(spec.Cores) &&
+			axon >= 0 && axon < spec.Cores[core].Axons
+	}
+	drivers := map[[2]int]int{} // (core, axon) -> number of sources
+	for ci, routes := range spec.Routes {
+		if ci < len(spec.Cores) && len(routes) != spec.Cores[ci].Neurons {
+			errf(fmt.Sprintf("routes[%d]", ci), "%d entries for %d neurons",
+				len(routes), spec.Cores[ci].Neurons)
+		}
+		for n, t := range routes {
+			p := fmt.Sprintf("routes[%d][%d]", ci, n)
+			if t.Delay < 0 || t.Delay > specMaxDelay {
+				errf(p, "axonal delay %d outside legal window [0,%d]", t.Delay, specMaxDelay)
+			}
+			switch {
+			case t.Core < specExternal:
+				// Disconnected: spikes dropped, always legal.
+			case t.Core == specExternal:
+				if t.Axon < 0 {
+					errf(p, "negative output pin %d", t.Axon)
+				}
+			default:
+				if !axonOK(t.Core, t.Axon) {
+					errf(p, "route targets nonexistent core %d axon %d", t.Core, t.Axon)
+				} else {
+					drivers[[2]int{t.Core, t.Axon}]++
+				}
+			}
+		}
+	}
+
+	// External input pins.
+	for pi, t := range spec.Inputs {
+		p := fmt.Sprintf("inputs[%d]", pi)
+		if !axonOK(t.Core, t.Axon) {
+			errf(p, "input pin wired to nonexistent core %d axon %d", t.Core, t.Axon)
+		} else {
+			drivers[[2]int{t.Core, t.Axon}]++
+		}
+	}
+
+	// Physical TrueNorth wiring gives each axon exactly one driver;
+	// multiple sources merging onto one axon simulate, but cannot be
+	// placed on hardware as-is.
+	for ci := range spec.Cores {
+		for a := 0; a < spec.Cores[ci].Axons; a++ {
+			if n := drivers[[2]int{ci, a}]; n > 1 {
+				warnf(fmt.Sprintf("cores[%d].axon[%d]", ci, a),
+					"axon driven by %d sources; physical axons have exactly one", n)
+			}
+		}
+	}
+
+	return out, nil
+}
+
+// ModelCoreCount reports how many cores a serialized model declares.
+func ModelCoreCount(data []byte) (int, error) {
+	var spec modelSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return 0, fmt.Errorf("analysis: decode model: %w", err)
+	}
+	return len(spec.Cores), nil
+}
+
+// ModelErrors filters diagnostics to hard errors.
+func ModelErrors(diags []ModelDiag) []ModelDiag {
+	var out []ModelDiag
+	for _, d := range diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}

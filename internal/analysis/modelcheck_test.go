@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/truenorth"
+)
+
+// TestModelConstantsMatchSimulator keeps the validator's standalone
+// hardware envelope in sync with the simulator's.
+func TestModelConstantsMatchSimulator(t *testing.T) {
+	if specCoreSize != truenorth.CoreSize {
+		t.Errorf("specCoreSize = %d, truenorth.CoreSize = %d", specCoreSize, truenorth.CoreSize)
+	}
+	if specNumAxonTypes != truenorth.NumAxonTypes {
+		t.Errorf("specNumAxonTypes = %d, truenorth.NumAxonTypes = %d", specNumAxonTypes, truenorth.NumAxonTypes)
+	}
+	if specMaxDelay != truenorth.MaxDelay {
+		t.Errorf("specMaxDelay = %d, truenorth.MaxDelay = %d", specMaxDelay, truenorth.MaxDelay)
+	}
+	if specExternal != truenorth.ExternalCore {
+		t.Errorf("specExternal = %d, truenorth.ExternalCore = %d", specExternal, truenorth.ExternalCore)
+	}
+}
+
+// TestModelCheckRoundTrip: a model built and validated by the runtime,
+// serialized with Save, must pass the static validator with zero
+// errors — the schema mirror stays honest.
+func TestModelCheckRoundTrip(t *testing.T) {
+	m := truenorth.NewModel()
+	c, err := m.AddCore(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		if err := c.SetAxonType(a, a%truenorth.NumAxonTypes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < 3; n++ {
+		if err := c.Connect(n, n, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Route(0, 0, truenorth.Target{Core: 0, Axon: 3, Delay: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Route(0, 1, truenorth.Target{Core: truenorth.ExternalCore, Axon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddInput(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckModelSpec(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := ModelErrors(diags); len(errs) != 0 {
+		t.Errorf("round-tripped model has %d static errors: %v", len(errs), errs)
+	}
+}
+
+// TestModelCheckOverFanIn is the acceptance case: a crafted network
+// whose core claims more fan-in than a physical core has must be
+// rejected statically (the runtime constructor would refuse to even
+// build it, which is exactly why the check must be static).
+func TestModelCheckOverFanIn(t *testing.T) {
+	spec := []byte(`{
+		"version": 1,
+		"cores": [{
+			"axons": 300, "neurons": 1,
+			"axon_types": [],
+			"params": [{"w": [1,0,0,0], "th": 1}],
+			"conn": []
+		}],
+		"routes": [[{"c": -2, "a": 0}]],
+		"inputs": []
+	}`)
+	diags, err := CheckModelSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := ModelErrors(diags)
+	if len(errs) == 0 {
+		t.Fatal("over-fan-in model passed static validation")
+	}
+	found := false
+	for _, d := range errs {
+		if strings.Contains(d.Message, "fan-in 300") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fan-in diagnostic in %v", errs)
+	}
+}
+
+// TestModelCheckViolations covers each constraint family.
+func TestModelCheckViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of some error diagnostic
+	}{
+		{
+			"version",
+			`{"version": 2, "cores": [], "routes": [], "inputs": []}`,
+			"unsupported model version 2",
+		},
+		{
+			"too many neurons",
+			`{"version": 1, "cores": [{"axons": 1, "neurons": 400,
+			  "axon_types": [0], "params": [], "conn": [[]]}],
+			  "routes": [[]], "inputs": []}`,
+			"400 neurons outside",
+		},
+		{
+			"weight LUT index",
+			`{"version": 1, "cores": [{"axons": 1, "neurons": 1,
+			  "axon_types": [7], "params": [{"w": [0,0,0,0], "th": 1}], "conn": [[0]]}],
+			  "routes": [[{"c": -2, "a": 0}]], "inputs": []}`,
+			"weight-LUT index 7 out of range",
+		},
+		{
+			"synapse out of range",
+			`{"version": 1, "cores": [{"axons": 1, "neurons": 1,
+			  "axon_types": [0], "params": [{"w": [0,0,0,0], "th": 1}], "conn": [[5]]}],
+			  "routes": [[{"c": -2, "a": 0}]], "inputs": []}`,
+			"synapse targets neuron 5",
+		},
+		{
+			"delay window",
+			`{"version": 1, "cores": [{"axons": 1, "neurons": 1,
+			  "axon_types": [0], "params": [{"w": [0,0,0,0], "th": 1}], "conn": [[0]]}],
+			  "routes": [[{"c": 0, "a": 0, "d": 99}]], "inputs": []}`,
+			"delay 99 outside legal window",
+		},
+		{
+			"route to missing core",
+			`{"version": 1, "cores": [{"axons": 1, "neurons": 1,
+			  "axon_types": [0], "params": [{"w": [0,0,0,0], "th": 1}], "conn": [[0]]}],
+			  "routes": [[{"c": 3, "a": 0}]], "inputs": []}`,
+			"nonexistent core 3",
+		},
+		{
+			"input to missing axon",
+			`{"version": 1, "cores": [{"axons": 1, "neurons": 1,
+			  "axon_types": [0], "params": [{"w": [0,0,0,0], "th": 1}], "conn": [[0]]}],
+			  "routes": [[{"c": -2, "a": 0}]], "inputs": [{"c": 0, "a": 9}]}`,
+			"nonexistent core 0 axon 9",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags, err := CheckModelSpec([]byte(tc.json))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ModelErrors(diags) {
+				if strings.Contains(d.Message, tc.want) {
+					return
+				}
+			}
+			t.Errorf("no error containing %q in %v", tc.want, diags)
+		})
+	}
+}
+
+// TestModelCheckMultiDriverWarning: two neurons routing onto the same
+// axon is simulable but not physically wireable — a warning, not an
+// error.
+func TestModelCheckMultiDriverWarning(t *testing.T) {
+	spec := []byte(`{
+		"version": 1,
+		"cores": [{"axons": 1, "neurons": 2, "axon_types": [0],
+		  "params": [{"w": [0,0,0,0], "th": 1}, {"w": [0,0,0,0], "th": 1}],
+		  "conn": [[0, 1]]}],
+		"routes": [[{"c": 0, "a": 0}, {"c": 0, "a": 0}]],
+		"inputs": []
+	}`)
+	diags, err := CheckModelSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ModelErrors(diags)) != 0 {
+		t.Errorf("multi-driver model raised hard errors: %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Severity == Warning && strings.Contains(d.Message, "driven by 2 sources") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no multi-driver warning in %v", diags)
+	}
+}
+
+// TestModelCheckMalformedJSON: undecodable input is an error return,
+// not a diagnostic.
+func TestModelCheckMalformedJSON(t *testing.T) {
+	if _, err := CheckModelSpec([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import "go/ast"
+
+// ObsGate protects hot loops from telemetry overhead: the obs layer is
+// lock-cheap but not free, so a publish (obs.CounterM(...).Inc() and
+// friends) inside a per-tick / per-pixel / per-window loop must sit
+// behind an obs.Enabled() check — either directly or by living in a
+// function that establishes the gate (the repo's coarse-boundary
+// idiom: measure into locals, publish once per run/epoch/level).
+// A function containing no Enabled() check at all that publishes from
+// inside a loop is the bug this catches.
+var ObsGate = &Analyzer{
+	Name: "obsgate",
+	Doc:  "require obs.Enabled() gating for telemetry publishes inside loops",
+	Run:  runObsGate,
+}
+
+func runObsGate(f *File) []Diagnostic {
+	if f.IsTest || !isInternalPkg(f) || f.Pkg == "internal/obs" {
+		return nil
+	}
+	imports := importsOf(f)
+
+	gated := map[*ast.FuncDecl]bool{}
+	for _, decl := range f.AST.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			gated[fd] = containsPkgCall(f, imports, fd.Body, obsPkgPath, "Enabled")
+		}
+	}
+
+	var out []Diagnostic
+	walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		pkg, name, ok := pkgCall(f, imports, call)
+		if !ok || pkg != obsPkgPath || name == "Enabled" {
+			return
+		}
+		if !insideLoop(stack) {
+			return
+		}
+		if fd := enclosingFuncDecl(stack); fd != nil && gated[fd] {
+			return
+		}
+		out = append(out, f.Diag("obsgate", call,
+			"obs.%s publish inside a loop without any obs.Enabled() gate in the function; check Enabled() or publish once at a coarse boundary", name))
+	})
+	return out
+}

@@ -1,0 +1,23 @@
+// Positive fixture: global math/rand use in a deterministic package.
+package truenorth
+
+import "math/rand"
+
+// package-level init from the global generator.
+var jitterSeed = rand.Float64()
+
+func jitter() int {
+	return rand.Intn(4)
+}
+
+func noisyThreshold(mask uint32) uint32 {
+	return rand.Uint32() % (mask + 1)
+}
+
+func shuffleOrder(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func reseed() {
+	rand.Seed(42)
+}

@@ -1,0 +1,25 @@
+// Negative fixture: threaded seeded RNGs and shadowed identifiers are
+// the approved patterns.
+package truenorth
+
+import "math/rand"
+
+type noiseSource interface{ Uint32() uint32 }
+
+// Constructing a seeded generator is legal; all draws go through it.
+func threaded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(4)
+}
+
+// A parameter shadowing the package name is a threaded source, not the
+// global generator (the old Core.Fire signature looked exactly like
+// this).
+func shadowed(rand noiseSource, mask uint32) uint32 {
+	return rand.Uint32() % (mask + 1)
+}
+
+// Passing a generator down is fine too.
+func consume(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}

@@ -1,0 +1,32 @@
+// Directive fixture, run under the errpanic analyzer: suppressions
+// with reasons work on the same line and the line above, a missing
+// reason is malformed (and suppresses nothing), and a directive that
+// suppresses nothing is reported as unused.
+package svm
+
+func allowedTrailing(ok bool) {
+	if !ok {
+		panic("invariant") //lint:allow errpanic construction invariant, indicates a caller bug
+	}
+}
+
+func allowedAbove(ok bool) {
+	if !ok {
+		//lint:allow errpanic interface-constrained signature cannot return an error
+		panic("invariant")
+	}
+}
+
+func missingReason(ok bool) {
+	if !ok {
+		//lint:allow errpanic
+		panic("still flagged")
+	}
+}
+
+//lint:allow errpanic nothing on the next line to suppress
+var unusedDirective = 1
+
+// A directive for an analyzer that did not run is left alone.
+//lint:allow otherlint not counted as unused when otherlint is not in the run set
+var foreignDirective = 2

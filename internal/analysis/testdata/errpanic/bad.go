@@ -1,0 +1,23 @@
+// Positive fixture: panics in a library package with error-return
+// conventions.
+package svm
+
+import "fmt"
+
+func Score(w, x []float64) float64 {
+	if len(x) != len(w) {
+		panic(fmt.Sprintf("svm: score input %d, want %d", len(x), len(w)))
+	}
+	var s float64
+	for i := range x {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+func mustPositive(v int) int {
+	if v <= 0 {
+		panic("non-positive")
+	}
+	return v
+}

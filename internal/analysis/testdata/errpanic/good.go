@@ -1,0 +1,22 @@
+// Negative fixture: the error-return convention, and shadowed panic.
+package svm
+
+import "fmt"
+
+func score(w, x []float64) (float64, error) {
+	if len(x) != len(w) {
+		return 0, fmt.Errorf("svm: score input %d, want %d", len(x), len(w))
+	}
+	var s float64
+	for i := range x {
+		s += w[i] * x[i]
+	}
+	return s, nil
+}
+
+// A local function named panic shadows the builtin; calling it is not
+// a runtime panic.
+func withShadow(report func(string)) {
+	panic := report
+	panic("not the builtin")
+}

@@ -1,0 +1,17 @@
+// Positive fixture: float arithmetic leaking into the fixed-point
+// package outside the Q<->float boundary functions.
+package fixed
+
+// A "fast path" that secretly rounds in float instead of the Q
+// datapath: exactly the bug the analyzer exists for.
+func lerp(a, b int64, t float64) int64 {
+	return a + int64(float64(b-a)*t)
+}
+
+func meanRaw(xs []int64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x) / 256.0
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+// Positive fixture: raw wall-clock reads in library code.
+package eedn
+
+import "time"
+
+func timedStep() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func work() {}

@@ -1,0 +1,53 @@
+package analysis
+
+import "go/ast"
+
+// Walltime keeps library code replayable: reading the wall clock
+// (time.Now, time.Since) makes a run depend on the machine it ran on,
+// which is only acceptable inside the telemetry layer itself
+// (internal/obs) or at call sites that exist purely to feed it — the
+// convention in this repo being a function that checks obs.Enabled()
+// before measuring. Everything else in internal/ must be a pure
+// function of its inputs and seeds.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads outside internal/obs and obs.Enabled()-gated telemetry",
+	Run:  runWalltime,
+}
+
+const obsPkgPath = "repro/internal/obs"
+
+func runWalltime(f *File) []Diagnostic {
+	if f.IsTest || !isInternalPkg(f) || f.Pkg == "internal/obs" {
+		return nil
+	}
+	imports := importsOf(f)
+
+	// A top-level function that consults obs.Enabled() anywhere is a
+	// telemetry boundary: its clock reads exist to be published, and
+	// the Enabled() check is what keeps them off the replayed path.
+	gated := map[*ast.FuncDecl]bool{}
+	for _, decl := range f.AST.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			gated[fd] = containsPkgCall(f, imports, fd.Body, obsPkgPath, "Enabled")
+		}
+	}
+
+	var out []Diagnostic
+	walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		pkg, name, ok := pkgCall(f, imports, call)
+		if !ok || pkg != "time" || (name != "Now" && name != "Since") {
+			return
+		}
+		if fd := enclosingFuncDecl(stack); fd != nil && gated[fd] {
+			return
+		}
+		out = append(out, f.Diag("walltime", call,
+			"wall-clock time.%s outside internal/obs makes the run unreplayable; gate it behind obs.Enabled() or move it into the telemetry layer", name))
+	})
+	return out
+}

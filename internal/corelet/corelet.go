@@ -40,6 +40,7 @@ func (b *Builder) Begin(name string) {
 // condition.
 func (b *Builder) End() {
 	if len(b.stack) == 0 {
+		//lint:allow errpanic unbalanced Begin/End is a builder-construction bug, not a runtime condition
 		panic("corelet: End without Begin")
 	}
 	b.stack = b.stack[:len(b.stack)-1]

@@ -109,6 +109,7 @@ func (c *Conv2D) preact(x []float64, out []float64) {
 // Forward computes the deployed binary-activation output.
 func (c *Conv2D) Forward(x []float64) []float64 {
 	if len(x) != c.InDim() {
+		//lint:allow errpanic dimension mismatch is a network-wiring bug; error returns would burden every training step
 		panic(fmt.Sprintf("eedn: conv forward input %d, want %d", len(x), c.InDim()))
 	}
 	out := make([]float64, c.OutDim())
@@ -142,6 +143,7 @@ func (c *Conv2D) ForwardTrain(x []float64) []float64 {
 // Backward accumulates gradients and returns the input gradient.
 func (c *Conv2D) Backward(gradOut []float64) []float64 {
 	if len(gradOut) != c.OutDim() {
+		//lint:allow errpanic dimension mismatch is a network-wiring bug; error returns would burden every training step
 		panic("eedn: conv backward dim mismatch")
 	}
 	oh, ow := c.OutH(), c.OutW()

@@ -82,6 +82,7 @@ type Dense struct {
 // trinary weights start nonzero and signal flows from the first step.
 func NewDense(in, out int, rng *rand.Rand) *Dense {
 	if in <= 0 || out <= 0 {
+		//lint:allow errpanic nonpositive layer shape is a construction bug caught at network-definition time
 		panic(fmt.Sprintf("eedn: dense %dx%d invalid", in, out))
 	}
 	d := &Dense{
@@ -127,6 +128,7 @@ func (d *Dense) preact(x []float64, out []float64) {
 // spikes unless the layer is Linear.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
+		//lint:allow errpanic dimension mismatch is a network-wiring bug; error returns would burden every training step
 		panic(fmt.Sprintf("eedn: dense forward input %d, want %d", len(x), d.In))
 	}
 	out := make([]float64, d.Out)
@@ -168,6 +170,7 @@ func (d *Dense) ForwardTrain(x []float64) []float64 {
 // weight were the hidden value (the BinaryConnect/Eedn convention).
 func (d *Dense) Backward(gradOut []float64) []float64 {
 	if len(gradOut) != d.Out {
+		//lint:allow errpanic dimension mismatch is a network-wiring bug; error returns would burden every training step
 		panic("eedn: dense backward dim mismatch")
 	}
 	norm := 1 / math.Sqrt(float64(d.In))
@@ -202,6 +205,7 @@ func (d *Dense) Backward(gradOut []float64) []float64 {
 // network, where nothing consumes it.
 func (d *Dense) BackwardParamsOnly(gradOut []float64) {
 	if len(gradOut) != d.Out {
+		//lint:allow errpanic dimension mismatch is a network-wiring bug; error returns would burden every training step
 		panic("eedn: dense backward dim mismatch")
 	}
 	norm := 1 / math.Sqrt(float64(d.In))

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors race_enabled_test.go for normal builds.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets heavyweight end-to-end trainings skip under the
+// race detector's ~15x slowdown (see experiments_test.go); the
+// concurrency they exercise is covered by the faster tests in
+// internal/eedn and internal/truenorth, which do run under race.
+const raceEnabled = true

@@ -54,7 +54,9 @@ func (q Q) Saturate(raw int64) int64 {
 
 // FromFloat converts a float64 to a saturated raw value, rounding to
 // nearest with ties away from zero (the rounding mode of the reference
-// RTL).
+// RTL). Out-of-range values, including ±Inf, saturate to Max/Min; NaN
+// converts to 0 (a NaN gradient contributes a zero vote rather than a
+// poisoned rail value).
 func (q Q) FromFloat(f float64) int64 {
 	if math.IsNaN(f) {
 		return 0

@@ -1,0 +1,54 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// The saturation edges of FromFloat are load-bearing for the HoG
+// datapath model: gradients at image borders routinely hit the rails,
+// and the chosen behavior (documented on FromFloat) is
+//
+//   - exactly representable rail values convert losslessly,
+//   - ±Inf saturate to Max/Min like any other out-of-range value,
+//   - NaN converts to 0 (a NaN gradient means a zero vote, never a
+//     poisoned rail).
+
+func TestFromFloatExactRails(t *testing.T) {
+	for _, q := range []Q{Q16_8, {Total: 8, Frac: 4}, {Total: 32, Frac: 16}, {Total: 63, Frac: 0}} {
+		if got := q.FromFloat(q.ToFloat(q.Max())); got != q.Max() {
+			t.Errorf("%v: FromFloat(ToFloat(Max)) = %d, want %d", q, got, q.Max())
+		}
+		if got := q.FromFloat(q.ToFloat(q.Min())); got != q.Min() {
+			t.Errorf("%v: FromFloat(ToFloat(Min)) = %d, want %d", q, got, q.Min())
+		}
+		// One LSB beyond the rails must clamp, not wrap.
+		if got := q.FromFloat(q.ToFloat(q.Max()) + q.Eps()); got != q.Max() {
+			t.Errorf("%v: Max+eps = %d, want saturated %d", q, got, q.Max())
+		}
+		if got := q.FromFloat(q.ToFloat(q.Min()) - q.Eps()); got != q.Min() {
+			t.Errorf("%v: Min-eps = %d, want saturated %d", q, got, q.Min())
+		}
+	}
+}
+
+func TestFromFloatInfinities(t *testing.T) {
+	for _, q := range []Q{Q16_8, {Total: 63, Frac: 31}} {
+		if got := q.FromFloat(math.Inf(1)); got != q.Max() {
+			t.Errorf("%v: FromFloat(+Inf) = %d, want %d", q, got, q.Max())
+		}
+		if got := q.FromFloat(math.Inf(-1)); got != q.Min() {
+			t.Errorf("%v: FromFloat(-Inf) = %d, want %d", q, got, q.Min())
+		}
+	}
+}
+
+func TestFromFloatNaN(t *testing.T) {
+	if got := Q16_8.FromFloat(math.NaN()); got != 0 {
+		t.Errorf("FromFloat(NaN) = %d, want 0", got)
+	}
+	// The sign bit of a NaN must not leak into the result.
+	if got := Q16_8.FromFloat(math.Copysign(math.NaN(), -1)); got != 0 {
+		t.Errorf("FromFloat(-NaN) = %d, want 0", got)
+	}
+}

@@ -24,6 +24,7 @@ type Image struct {
 // New returns a zeroed W×H image.
 func New(w, h int) *Image {
 	if w < 0 || h < 0 {
+		//lint:allow errpanic negative dimensions are a caller bug, mirroring the stdlib image package convention
 		panic(fmt.Sprintf("imgproc: negative dimensions %dx%d", w, h))
 	}
 	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
@@ -168,6 +169,7 @@ func Resize(m *Image, w, h int) *Image {
 // means unlimited). Level 0 is m itself (not copied).
 func Pyramid(m *Image, factor float64, minW, minH, maxLevels int) []*Image {
 	if factor <= 1 {
+		//lint:allow errpanic a non-shrinking pyramid factor would loop forever; caller bug, not input data
 		panic("imgproc: pyramid factor must be > 1")
 	}
 	levels := []*Image{m}

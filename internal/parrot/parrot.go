@@ -310,6 +310,7 @@ func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
 			hist, err := e.CellHistogram(patch)
 			if err != nil {
 				// Unreachable: patch size is fixed.
+				//lint:allow errpanic SubImage always yields CellSide patches, so CellHistogram cannot fail here
 				panic(err)
 			}
 			grid[j][i] = hist

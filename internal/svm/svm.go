@@ -27,6 +27,7 @@ type Model struct {
 // Score returns the decision value for x.
 func (m *Model) Score(x []float64) float64 {
 	if len(x) != len(m.W) {
+		//lint:allow errpanic feature-dimension mismatch is a pipeline-wiring bug; Score sits in the per-window hot path
 		panic(fmt.Sprintf("svm: score input %d, want %d", len(x), len(m.W)))
 	}
 	s := m.B

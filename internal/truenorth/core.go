@@ -96,6 +96,10 @@ type Core struct {
 	synEvents uint64
 	// fireEvents counts neuron firings.
 	fireEvents uint64
+	// stochastic counts neurons with an active stochastic threshold
+	// (Stochastic set and NoiseMask > 0), so Fire can validate its
+	// NoiseSource requirement in O(1).
+	stochastic int
 }
 
 // NewCore returns a core with the given geometry. Axons and neurons
@@ -144,9 +148,20 @@ func (c *Core) SetNeuron(n int, p NeuronParams) error {
 	if n < 0 || n >= c.Neurons {
 		return fmt.Errorf("truenorth: neuron %d out of range [0,%d)", n, c.Neurons)
 	}
+	if old := c.params[n]; old.Stochastic && old.NoiseMask > 0 {
+		c.stochastic--
+	}
+	if p.Stochastic && p.NoiseMask > 0 {
+		c.stochastic++
+	}
 	c.params[n] = p
 	return nil
 }
+
+// NeedsNoise reports whether any neuron on the core has an active
+// stochastic threshold, i.e. whether Fire requires a non-nil
+// NoiseSource.
+func (c *Core) NeedsNoise() bool { return c.stochastic > 0 }
 
 // Neuron returns neuron n's parameters.
 func (c *Core) Neuron(n int) NeuronParams { return c.params[n] }
@@ -207,10 +222,23 @@ func (c *Core) Integrate(spikes []uint64) {
 }
 
 // Fire applies leak, evaluates thresholds, resets fired neurons and
-// returns the indices of neurons that fired this tick. rand supplies
-// stochastic threshold noise; it may be nil when no neuron on the core
-// is stochastic.
-func (c *Core) Fire(rand RandSource) []int {
+// returns the indices of neurons that fired this tick. noise supplies
+// stochastic threshold noise; it may be nil only when no neuron on the
+// core has an active stochastic threshold (see NeedsNoise), otherwise
+// an error is returned and no neuron state changes.
+func (c *Core) Fire(noise NoiseSource) ([]int, error) {
+	if noise == nil && c.stochastic > 0 {
+		return nil, fmt.Errorf("truenorth: core %d has %d stochastic neurons but no NoiseSource",
+			c.ID, c.stochastic)
+	}
+	return c.fire(noise), nil
+}
+
+// fire is Fire without the NoiseSource precondition check; the
+// simulator calls it directly because it always owns a seeded non-nil
+// noise source (NewSimulator), keeping the per-tick hot path free of
+// redundant validation.
+func (c *Core) fire(noise NoiseSource) []int {
 	var fired []int
 	for n := range c.params {
 		p := &c.params[n]
@@ -220,10 +248,7 @@ func (c *Core) Fire(rand RandSource) []int {
 		}
 		th := p.Threshold
 		if p.Stochastic && p.NoiseMask > 0 {
-			if rand == nil {
-				panic("truenorth: stochastic neuron with nil RandSource")
-			}
-			th += int32(rand.Uint32() % uint32(p.NoiseMask+1))
+			th += int32(noise.Uint32() % uint32(p.NoiseMask+1))
 		}
 		if v >= th {
 			fired = append(fired, n)
@@ -256,9 +281,14 @@ func (c *Core) SynapticEvents() uint64 { return c.synEvents }
 // ResetState.
 func (c *Core) FireEvents() uint64 { return c.fireEvents }
 
-// RandSource is the random number source used for stochastic neuron
-// thresholds. math/rand's *rand.Rand satisfies it.
-type RandSource interface {
+// NoiseSource is the random number source used for stochastic neuron
+// thresholds. It is always threaded explicitly (math/rand's *rand.Rand
+// satisfies it; the Simulator owns one seeded instance per run) so
+// that stochastic-mode runs stay bit-reproducible under a fixed seed —
+// nothing in this package may fall back to the global math/rand
+// top-level functions, an invariant enforced by the detrand analyzer
+// in internal/analysis.
+type NoiseSource interface {
 	Uint32() uint32
 }
 

@@ -15,6 +15,15 @@ func mustCore(t *testing.T, axons, neurons int) *Core {
 	return c
 }
 
+func mustFire(t *testing.T, c *Core, noise NoiseSource) []int {
+	t.Helper()
+	fired, err := c.Fire(noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fired
+}
+
 func TestNewCoreGeometry(t *testing.T) {
 	if _, err := NewCore(0, 0, 10); err == nil {
 		t.Error("0 axons should error")
@@ -102,11 +111,11 @@ func TestFireThresholdAndReset(t *testing.T) {
 	_ = c.Connect(0, 0, true)
 
 	c.Integrate([]uint64{1})
-	if fired := c.Fire(nil); len(fired) != 0 {
+	if fired := mustFire(t, c, nil); len(fired) != 0 {
 		t.Error("fired below threshold")
 	}
 	c.Integrate([]uint64{1})
-	fired := c.Fire(nil)
+	fired := mustFire(t, c, nil)
 	if len(fired) != 1 || fired[0] != 0 {
 		t.Errorf("fired = %v, want [0]", fired)
 	}
@@ -131,7 +140,7 @@ func TestResetSubtractLinearRate(t *testing.T) {
 	fires := 0
 	for tick := 0; tick < 20; tick++ { // 20 unit inputs
 		c.Integrate([]uint64{1})
-		fires += len(c.Fire(nil))
+		fires += len(mustFire(t, c, nil))
 	}
 	if fires != 6 { // floor(20/3)
 		t.Errorf("ResetSubtract fires = %d, want 6", fires)
@@ -149,7 +158,7 @@ func TestLeakAccumulates(t *testing.T) {
 	_ = c.SetNeuron(0, p)
 	ticks := 0
 	for i := 0; i < 10; i++ {
-		if len(c.Fire(nil)) == 1 {
+		if len(mustFire(t, c, nil)) == 1 {
 			ticks = i + 1
 			break
 		}
@@ -167,9 +176,9 @@ func TestFloorClampsPotential(t *testing.T) {
 	p.Floor = -15
 	p.Threshold = 1000
 	_ = c.SetNeuron(0, p)
-	c.Fire(nil)
-	c.Fire(nil)
-	c.Fire(nil)
+	mustFire(t, c, nil)
+	mustFire(t, c, nil)
+	mustFire(t, c, nil)
 	if got := c.Potential(0); got != -15 {
 		t.Errorf("potential = %d, want floor -15", got)
 	}
@@ -188,7 +197,7 @@ func TestStochasticThresholdFiresProbabilistically(t *testing.T) {
 	const trials = 2000
 	for i := 0; i < trials; i++ {
 		c.SetPotential(0, 2)
-		if len(c.Fire(rng)) == 1 {
+		if len(mustFire(t, c, rng)) == 1 {
 			fires++
 		}
 	}
@@ -198,19 +207,30 @@ func TestStochasticThresholdFiresProbabilistically(t *testing.T) {
 	}
 }
 
-func TestStochasticWithoutRNGPanics(t *testing.T) {
+func TestStochasticWithoutNoiseSourceErrors(t *testing.T) {
 	c := mustCore(t, 1, 1)
 	p := DefaultNeuron()
 	p.Stochastic = true
 	p.NoiseMask = 3
 	_ = c.SetNeuron(0, p)
+	if !c.NeedsNoise() {
+		t.Error("NeedsNoise = false with an active stochastic neuron")
+	}
 	c.SetPotential(0, 100)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for stochastic neuron with nil rng")
-		}
-	}()
-	c.Fire(nil)
+	if _, err := c.Fire(nil); err == nil {
+		t.Error("expected error for stochastic neuron with nil NoiseSource")
+	}
+	if got := c.Potential(0); got != 100 {
+		t.Errorf("failed Fire mutated potential to %d", got)
+	}
+	// Reconfiguring the neuron as deterministic lifts the requirement.
+	_ = c.SetNeuron(0, DefaultNeuron())
+	if c.NeedsNoise() {
+		t.Error("NeedsNoise = true after reconfiguring deterministic")
+	}
+	if _, err := c.Fire(nil); err != nil {
+		t.Errorf("deterministic Fire(nil) errored: %v", err)
+	}
 }
 
 func TestResetState(t *testing.T) {
@@ -303,6 +323,6 @@ func BenchmarkFireFullCore(b *testing.B) {
 	c, _ := NewCore(0, 256, 256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Fire(nil)
+		_, _ = c.Fire(nil)
 	}
 }

@@ -116,7 +116,9 @@ func (s *Simulator) Step() []bool {
 	for c := 0; c < m.NumCores(); c++ {
 		core := m.Core(c)
 		core.Integrate(cur[c])
-		for _, n := range core.Fire(s.rng) {
+		// fire (not Fire): s.rng is constructed seeded and non-nil in
+		// NewSimulator, so the NoiseSource precondition always holds.
+		for _, n := range core.fire(s.rng) {
 			if s.trace != nil {
 				s.trace.record(s.tick, c, n)
 			}
