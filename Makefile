@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: build test check vet race lint bench bench-obs clean
+.PHONY: build test check vet race lint bench bench-obs bench-sim fuzz clean
+
+# FUZZTIME bounds each fuzz target's smoke run (the committed seed
+# corpora under internal/truenorth/testdata/fuzz always run as plain
+# tests; this is extra mutation time).
+FUZZTIME ?= 15s
 
 build:
 	$(GO) build ./...
@@ -41,5 +46,19 @@ bench:
 bench-obs:
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -bench=. -benchmem -run '^$$'
 
+# bench-sim runs only the simulator engine benchmarks (dense vs sparse
+# Step at several activity levels, plus the NApprox corelet run) and
+# writes the telemetry snapshot — including the
+# truenorth.active_cores_per_tick histogram — to BENCH_sim.json,
+# seeding the simulator perf trajectory.
+bench-sim:
+	BENCH_SIM_OUT=BENCH_sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse)|BenchmarkRunNApprox' -benchmem -run '^$$' .
+
+# fuzz smoke-runs each native fuzz target for FUZZTIME. go test allows
+# one -fuzz pattern per invocation, hence the two runs.
+fuzz:
+	$(GO) test ./internal/truenorth -run '^$$' -fuzz '^FuzzModelRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/truenorth -run '^$$' -fuzz '^FuzzDenseSparseEquivalence$$' -fuzztime $(FUZZTIME)
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_sim.json

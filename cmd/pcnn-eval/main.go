@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/truenorth"
 )
 
 var csvDir = flag.String("csv", "", "also write figure series as CSV files into this directory")
@@ -32,8 +33,15 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: table1, table2, fig4, fig5, fig6, absorbed, hwval, throughput, all")
 	full := flag.Bool("full", false, "use the paper-protocol-sized configuration (slow)")
 	cells := flag.Int("hwcells", 200, "cells for the hardware/software validation")
+	engine := flag.String("engine", "sparse", "truenorth execution engine: dense or sparse (bit-identical; sparse skips idle cores)")
 	tele.Register(flag.CommandLine)
 	flag.Parse()
+	eng, err := truenorth.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.SetSimulatorEngine(eng)
 	tele.MustStart()
 
 	cfg := experiments.Small()

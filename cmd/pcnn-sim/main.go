@@ -31,11 +31,16 @@ func main() {
 	spikesPath := flag.String("spikes", "", "input spike schedule: lines of 'tick pin'")
 	ticks := flag.Int("ticks", 100, "ticks to simulate")
 	seed := flag.Int64("seed", 1, "stochastic threshold seed")
+	engineName := flag.String("engine", "sparse", "execution engine: dense or sparse (bit-identical; sparse skips idle cores)")
 	export := flag.String("export-napprox", "", "write the NApprox cell corelet as a model file and exit")
 	demo := flag.Bool("demo", false, "build the NApprox corelet, save, reload and run a ramp cell")
 	var tele obs.CLI
 	tele.Register(flag.CommandLine)
 	flag.Parse()
+	engine, err := truenorth.ParseEngine(*engineName)
+	if err != nil {
+		fail(err)
+	}
 	tele.MustStart()
 	defer tele.MustFinish()
 
@@ -46,7 +51,7 @@ func main() {
 		}
 	case *demo:
 		sp := obs.StartSpan("pcnn-sim.demo")
-		err := runDemo()
+		err := runDemo(engine)
 		sp.End()
 		if err != nil {
 			_ = tele.Finish()
@@ -54,7 +59,7 @@ func main() {
 		}
 	case *modelPath != "":
 		sp := obs.StartSpan("pcnn-sim.run")
-		err := runModel(*modelPath, *spikesPath, *ticks, *seed)
+		err := runModel(*modelPath, *spikesPath, *ticks, *seed, engine)
 		sp.End()
 		if err != nil {
 			_ = tele.Finish()
@@ -89,7 +94,7 @@ func exportNApprox(path string) error {
 	return nil
 }
 
-func runModel(modelPath, spikesPath string, ticks int, seed int64) error {
+func runModel(modelPath, spikesPath string, ticks int, seed int64, engine truenorth.Engine) error {
 	f, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -132,7 +137,7 @@ func runModel(modelPath, spikesPath string, ticks int, seed int64) error {
 		}
 	}
 
-	sim, err := truenorth.NewSimulator(model, seed)
+	sim, err := truenorth.NewSimulator(model, seed, truenorth.WithEngine(engine))
 	if err != nil {
 		return err
 	}
@@ -152,7 +157,7 @@ func runModel(modelPath, spikesPath string, ticks int, seed int64) error {
 	return nil
 }
 
-func runDemo() error {
+func runDemo(engine truenorth.Engine) error {
 	cfg := napprox.TrueNorthConfig()
 	mod, err := napprox.BuildCellModule(cfg)
 	if err != nil {
@@ -183,7 +188,7 @@ func runDemo() error {
 	fmt.Printf("reloaded: %d cores\n", model.NumCores())
 
 	// Run a horizontal ramp cell through the reloaded model.
-	sim, err := truenorth.NewSimulator(model, 1)
+	sim, err := truenorth.NewSimulator(model, 1, truenorth.WithEngine(engine))
 	if err != nil {
 		return err
 	}

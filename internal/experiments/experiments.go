@@ -38,6 +38,22 @@ import (
 	"repro/internal/truenorth"
 )
 
+// simEngine selects the truenorth execution engine for every
+// experiment that instantiates a simulator. The engines are
+// bit-identical, so this only affects speed; cmd/pcnn-eval exposes it
+// as -engine for benchmarking the two against each other.
+var simEngine = truenorth.EngineSparse
+
+// SetSimulatorEngine switches the execution engine used by subsequent
+// experiment runs (process-wide; not safe to flip concurrently with a
+// running experiment).
+func SetSimulatorEngine(e truenorth.Engine) { simEngine = e }
+
+// newSimulator builds a simulator on the configured engine.
+func newSimulator(m *truenorth.Model, seed int64) (*truenorth.Simulator, error) {
+	return truenorth.NewSimulator(m, seed, truenorth.WithEngine(simEngine))
+}
+
 // Config sizes an experiment run.
 type Config struct {
 	Seed int64
@@ -155,7 +171,7 @@ func publishCoreletActivity(cells int, seed int64) {
 	if err != nil {
 		return
 	}
-	sim, err := truenorth.NewSimulator(mod.Model, 1)
+	sim, err := newSimulator(mod.Model, 1)
 	if err != nil {
 		return
 	}
@@ -450,7 +466,7 @@ func HWValidation(n int, seed int64) (*HWValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := truenorth.NewSimulator(mod.Model, 1)
+	sim, err := newSimulator(mod.Model, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -561,7 +577,7 @@ func EnergyStudy(n int, seed int64) (*EnergyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := truenorth.NewSimulator(mod.Model, 1)
+	sim, err := newSimulator(mod.Model, 1)
 	if err != nil {
 		return nil, err
 	}

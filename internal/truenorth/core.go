@@ -100,6 +100,24 @@ type Core struct {
 	// (Stochastic set and NoiseMask > 0), so Fire can validate its
 	// NoiseSource requirement in O(1).
 	stochastic int
+	// restless counts neurons whose parameters make an idle tick
+	// state-changing even from a zero membrane potential: a nonzero
+	// leak moves V, a positive floor clamps V upward, and a
+	// non-positive threshold fires from V = 0. A core with restless
+	// (or stochastic — the noise stream must advance) neurons can
+	// never be skipped by the event-driven engine.
+	restless int
+	// firedBuf is the reusable scratch slice fire returns, so the
+	// per-tick hot path allocates nothing in steady state.
+	firedBuf []int
+	// livePotential is true when some neuron may hold a nonzero
+	// membrane potential. fire recomputes it exactly; Integrate and
+	// SetPotential raise it conservatively. The event-driven engine
+	// skips a tick on cores where it is false (and no spikes arrived
+	// and no neuron is restless/stochastic), which is exact: a zero
+	// potential under zero leak, a non-positive floor and a positive
+	// deterministic threshold is a fixed point of the idle update.
+	livePotential bool
 }
 
 // NewCore returns a core with the given geometry. Axons and neurons
@@ -154,9 +172,28 @@ func (c *Core) SetNeuron(n int, p NeuronParams) error {
 	if p.Stochastic && p.NoiseMask > 0 {
 		c.stochastic++
 	}
+	if restlessParams(c.params[n]) {
+		c.restless--
+	}
+	if restlessParams(p) {
+		c.restless++
+	}
 	c.params[n] = p
 	return nil
 }
+
+// restlessParams reports whether a neuron with these parameters can
+// change state (or fire) on a tick with no input even when its
+// membrane potential is zero.
+func restlessParams(p NeuronParams) bool {
+	return p.Leak != 0 || p.Floor > 0 || p.Threshold <= 0
+}
+
+// idleActive reports whether the core must be evaluated on every tick
+// regardless of input: it hosts restless neurons, or stochastic
+// neurons whose noise stream has to advance in lockstep with the
+// dense engine.
+func (c *Core) idleActive() bool { return c.restless > 0 || c.stochastic > 0 }
 
 // NeedsNoise reports whether any neuron on the core has an active
 // stochastic threshold, i.e. whether Fire requires a non-nil
@@ -191,13 +228,19 @@ func (c *Core) Connected(a, n int) bool {
 func (c *Core) Potential(n int) int32 { return c.v[n] }
 
 // SetPotential sets neuron n's membrane potential.
-func (c *Core) SetPotential(n int, v int32) { c.v[n] = v }
+func (c *Core) SetPotential(n int, v int32) {
+	c.v[n] = v
+	if v != 0 {
+		c.livePotential = true
+	}
+}
 
 // Integrate applies one tick's worth of incoming spikes: for every
 // axon whose bit is set in spikes (a bitset over axons), every
 // connected neuron accumulates that neuron's weight for the axon's
 // type. Leak and threshold evaluation happen in Fire.
 func (c *Core) Integrate(spikes []uint64) {
+	before := c.synEvents
 	for w, word := range spikes {
 		for word != 0 {
 			bit := word & (-word)
@@ -219,13 +262,21 @@ func (c *Core) Integrate(spikes []uint64) {
 			}
 		}
 	}
+	// Conservative: a delivered spike may have made some potential
+	// nonzero (fire recomputes the flag exactly on the next
+	// evaluation; a false positive only costs one core evaluation).
+	if c.synEvents != before {
+		c.livePotential = true
+	}
 }
 
 // Fire applies leak, evaluates thresholds, resets fired neurons and
 // returns the indices of neurons that fired this tick. noise supplies
 // stochastic threshold noise; it may be nil only when no neuron on the
 // core has an active stochastic threshold (see NeedsNoise), otherwise
-// an error is returned and no neuron state changes.
+// an error is returned and no neuron state changes. The returned slice
+// is a per-core scratch buffer reused by the next Fire call; copy it
+// to retain.
 func (c *Core) Fire(noise NoiseSource) ([]int, error) {
 	if noise == nil && c.stochastic > 0 {
 		return nil, fmt.Errorf("truenorth: core %d has %d stochastic neurons but no NoiseSource",
@@ -239,7 +290,8 @@ func (c *Core) Fire(noise NoiseSource) ([]int, error) {
 // noise source (NewSimulator), keeping the per-tick hot path free of
 // redundant validation.
 func (c *Core) fire(noise NoiseSource) []int {
-	var fired []int
+	fired := c.firedBuf[:0]
+	live := false
 	for n := range c.params {
 		p := &c.params[n]
 		v := c.v[n] + p.Leak
@@ -260,7 +312,12 @@ func (c *Core) fire(noise NoiseSource) []int {
 			c.fireEvents++
 		}
 		c.v[n] = v
+		if v != 0 {
+			live = true
+		}
 	}
+	c.livePotential = live
+	c.firedBuf = fired
 	return fired
 }
 
@@ -271,6 +328,7 @@ func (c *Core) ResetState() {
 	}
 	c.synEvents = 0
 	c.fireEvents = 0
+	c.livePotential = false
 }
 
 // SynapticEvents returns the number of synaptic events processed since

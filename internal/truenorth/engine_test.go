@@ -1,0 +1,178 @@
+package truenorth
+
+import (
+	"testing"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"dense", EngineDense, true},
+		{"sparse", EngineSparse, true},
+		{"", 0, false},
+		{"Dense", 0, false},
+		{"parallel", 0, false},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseEngine(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if EngineDense.String() != "dense" || EngineSparse.String() != "sparse" {
+		t.Error("Engine.String does not round-trip flag names")
+	}
+}
+
+func TestEngineSelection(t *testing.T) {
+	m := buildRelay(t)
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Engine() != EngineSparse {
+		t.Errorf("default engine = %v, want sparse", sim.Engine())
+	}
+	sim, err = NewSimulator(m, 1, WithEngine(EngineDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Engine() != EngineDense {
+		t.Errorf("engine = %v, want dense", sim.Engine())
+	}
+}
+
+// TestSparseSkipsIdleCores pins the engine's whole point: on a quiet
+// deterministic model the event-driven engine schedules no cores,
+// and spike arrival wakes exactly the cores involved.
+func TestSparseSkipsIdleCores(t *testing.T) {
+	m := buildRelay(t) // 2 cores, default params (leak 0, threshold 1)
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step()
+	if n := len(sim.worklist); n != 0 {
+		t.Fatalf("idle tick scheduled %d cores, want 0", n)
+	}
+	// An injected spike wakes core 0 on the next tick; its relayed
+	// spike wakes core 1 the tick after; then everything goes quiet.
+	_ = sim.InjectInput(0)
+	sim.Step()
+	if got := append([]int(nil), sim.worklist...); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("after inject, worklist = %v, want [0]", got)
+	}
+	sim.Step()
+	if got := append([]int(nil), sim.worklist...); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("relay tick worklist = %v, want [1]", got)
+	}
+	sim.Step()
+	if n := len(sim.worklist); n != 0 {
+		t.Fatalf("post-relay tick scheduled %d cores, want 0", n)
+	}
+}
+
+// TestSparseAlwaysSchedulesRestlessCores pins the skip predicate's
+// conservative side: leaky, positive-floor, non-positive-threshold and
+// stochastic neurons force their core onto every tick's worklist, the
+// cases where an "idle" tick is not a no-op.
+func TestSparseAlwaysSchedulesRestlessCores(t *testing.T) {
+	for name, mut := range map[string]func(*NeuronParams){
+		"leak":          func(p *NeuronParams) { p.Leak = -1 },
+		"positiveFloor": func(p *NeuronParams) { p.Floor = 2; p.Threshold = 100 },
+		"zeroThreshold": func(p *NeuronParams) { p.Threshold = 0 },
+		"stochastic":    func(p *NeuronParams) { p.Stochastic = true; p.NoiseMask = 3; p.Threshold = 50 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := NewModel()
+			c, err := m.AddCore(1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := DefaultNeuron()
+			mut(&p)
+			if err := c.SetNeuron(0, p); err != nil {
+				t.Fatal(err)
+			}
+			sim, err := NewSimulator(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.Step()
+			if len(sim.worklist) != 1 {
+				t.Fatalf("%s core skipped on an idle tick", name)
+			}
+		})
+	}
+}
+
+// TestStepSteadyStateAllocs locks in the zero-allocation steady-state
+// tick for both engines: after warmup, Step (with injection) must not
+// touch the heap.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	for _, engine := range []Engine{EngineDense, EngineSparse} {
+		t.Run(engine.String(), func(t *testing.T) {
+			m := buildRelay(t)
+			sim, err := NewSimulator(m, 1, WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up scratch buffers (fired slices grow once).
+			for i := 0; i < 4; i++ {
+				_ = sim.InjectInput(0)
+				sim.Step()
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				_ = sim.InjectInput(0)
+				sim.Step()
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Step allocates %.2f objects/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestDirtyRingClearing verifies the dirty-word bookkeeping: a slot's
+// buffers are fully cleared after consumption even across multi-tick
+// delays, so a delayed spike is seen exactly once.
+func TestDirtyRingClearing(t *testing.T) {
+	m := NewModel()
+	src, _ := m.AddCore(1, 1)
+	dst, _ := m.AddCore(1, 1)
+	p := DefaultNeuron()
+	p.Threshold = 1
+	_ = src.SetNeuron(0, p)
+	_ = src.Connect(0, 0, true)
+	_ = dst.SetNeuron(0, p)
+	_ = dst.Connect(0, 0, true)
+	_, _ = m.AddInput(0, 0)
+	_ = m.Route(0, 0, Target{Core: 1, Axon: 0, Delay: 7})
+	_ = m.Route(1, 0, Target{Core: ExternalCore, Axon: 0})
+	sim, err := NewSimulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.InjectInput(0)
+	spikes := 0
+	// One input spike: core0 fires at tick 1, delayed 7 ticks to core1,
+	// which fires once. Run two full ring cycles to catch ghosts from
+	// uncleared slots.
+	for i := 0; i < 2*(MaxDelay+1)+4; i++ {
+		if out := sim.Step(); out[0] {
+			spikes++
+		}
+	}
+	if spikes != 1 {
+		t.Fatalf("delayed spike delivered %d times, want exactly once", spikes)
+	}
+	if sim.SpikesRouted() != 2 {
+		t.Errorf("spikes routed = %d, want 2", sim.SpikesRouted())
+	}
+}

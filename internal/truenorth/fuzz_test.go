@@ -1,0 +1,180 @@
+package truenorth
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Native fuzz targets. In normal `go test` runs these execute the
+// committed seed corpus (testdata/fuzz/<Target>/ plus the f.Add seeds
+// below) as regular regression tests; `make fuzz` runs each target
+// under the mutation engine for a short smoke window, and CI gives
+// them their own lane.
+
+// fuzzModelJSON returns the serialized form of a small model touching
+// every file feature: mixed axon types, both reset modes, stochastic
+// neurons, delays, and external/disconnected/internal routes.
+func fuzzModelJSON(tb testing.TB) []byte {
+	m := NewModel()
+	c0, err := m.AddCore(4, 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c1, err := m.AddCore(3, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		if err := c0.SetAxonType(a, a%NumAxonTypes); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	p := DefaultNeuron()
+	p.Leak = -1
+	p.ResetMode = ResetSubtract
+	p.Threshold = 2
+	if err := c0.SetNeuron(0, p); err != nil {
+		tb.Fatal(err)
+	}
+	p = DefaultNeuron()
+	p.Stochastic = true
+	p.NoiseMask = 7
+	p.Floor = -5
+	if err := c1.SetNeuron(0, p); err != nil {
+		tb.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		if err := c1.Connect(a, a%2, true); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := c0.Connect(0, 0, true); err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.Route(0, 0, Target{Core: 1, Axon: 1, Delay: 5}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.Route(0, 1, Target{Core: ExternalCore, Axon: 0}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.Route(0, 2, Disconnected); err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.Route(1, 0, Target{Core: 0, Axon: 3}); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := m.AddInput(0, 0); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := m.AddInput(1, 2); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzModelRoundTrip asserts the model-file pipeline never panics on
+// arbitrary bytes and is losslessly stable on anything it accepts:
+// LoadModel(data) -> Save -> LoadModel -> Save must reproduce the
+// first serialization byte-for-byte, and the static validator
+// (analysis.CheckModelSpec) must handle the same input without
+// panicking.
+func FuzzModelRoundTrip(f *testing.F) {
+	f.Add(fuzzModelJSON(f))
+	f.Add([]byte(`{"version":1,"cores":[],"routes":[],"inputs":[]}`))
+	f.Add([]byte(`{"version":1,"cores":[{"axons":1,"neurons":1,"axon_types":[0],"params":[{"w":[1,-1,2,-2],"th":1}],"conn":[[0]]}],"routes":[[{"c":-1,"a":0}]],"inputs":[{"c":0,"a":0}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"cores":[{"axons":300,"neurons":-1}],"routes":[[]],"inputs":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The static checker must never panic, whatever the bytes.
+		_, _ = analysis.CheckModelSpec(data)
+
+		m, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var first bytes.Buffer
+		if err := m.Save(&first); err != nil {
+			t.Fatalf("save of loaded model failed: %v", err)
+		}
+		m2, err := LoadModel(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of saved model failed: %v", err)
+		}
+		var second bytes.Buffer
+		if err := m2.Save(&second); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip not lossless:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+		}
+		if m2.NumCores() != m.NumCores() || m2.NumInputs() != m.NumInputs() || m2.NumOutputs() != m.NumOutputs() {
+			t.Fatalf("round-trip changed geometry: %d/%d/%d -> %d/%d/%d",
+				m.NumCores(), m.NumInputs(), m.NumOutputs(),
+				m2.NumCores(), m2.NumInputs(), m2.NumOutputs())
+		}
+	})
+}
+
+// FuzzDenseSparseEquivalence drives the fuzz-feature model with an
+// arbitrary input spike schedule decoded from the fuzz bytes and
+// asserts the two engines stay bit-identical: same trace, same output
+// counts, same energy stats.
+func FuzzDenseSparseEquivalence(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 1, 1, 5, 0, 9, 1})
+	f.Add(int64(42), []byte{})
+	f.Add(int64(-7), []byte{31, 0, 31, 1, 31, 0, 2, 1, 60, 0})
+	f.Fuzz(func(t *testing.T, seed int64, schedule []byte) {
+		const ticks = 96
+		build := func() *Model {
+			m, err := LoadModel(bytes.NewReader(fuzzModelJSON(t)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		mDense, mSparse := build(), build()
+		nIn := mDense.NumInputs()
+		// Each byte pair is one (tick, pin) injection, folded into range.
+		inputFn := func(tick int) []int {
+			var pins []int
+			for i := 0; i+1 < len(schedule); i += 2 {
+				if int(schedule[i])%ticks == tick {
+					pins = append(pins, int(schedule[i+1])%nIn)
+				}
+			}
+			return pins
+		}
+		run := func(m *Model, e Engine) ([]TraceEvent, []int, EnergyStats) {
+			sim, err := NewSimulator(m, seed, WithEngine(e))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := NewTrace()
+			sim.SetTrace(tr)
+			counts, err := sim.Run(ticks, inputFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr.Events, counts, CollectEnergy(sim)
+		}
+		evD, ctD, enD := run(mDense, EngineDense)
+		evS, ctS, enS := run(mSparse, EngineSparse)
+		if !reflect.DeepEqual(evD, evS) {
+			t.Fatalf("traces diverged: dense %d events, sparse %d", len(evD), len(evS))
+		}
+		if !reflect.DeepEqual(ctD, ctS) {
+			t.Fatalf("output counts diverged: %v vs %v", ctD, ctS)
+		}
+		if enD != enS {
+			t.Fatalf("energy stats diverged: %+v vs %+v", enD, enS)
+		}
+	})
+}

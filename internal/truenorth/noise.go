@@ -1,0 +1,65 @@
+package truenorth
+
+// Deterministic per-core noise streams for stochastic thresholds.
+//
+// The simulator used to own a single *rand.Rand consumed in core-ID
+// order while walking every core each tick. That coupling makes the
+// noise a core's neurons see depend on how many draws every
+// lower-numbered core performed first — which is exactly what an
+// event-driven engine (or a future parallel shard mode) cannot
+// reproduce while skipping idle cores. Instead, each core gets its own
+// counter-based stream keyed by (seed, coreID): draw i of core c's
+// stream is a pure function mix64(key(seed,c) + i*noiseGamma), so the
+// values a stochastic neuron sees depend only on the seed, the core it
+// lives on, and how many draws that core has made — never on the
+// activity of other cores or on the engine evaluating them.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood 2014) written in
+// counter form: the finalizer is applied to key + i*gamma rather than
+// to an advancing state word, which makes random access (and replay
+// after checkpointing the counter) trivial. Note this intentionally
+// changed the noise values relative to the old shared-stream scheme;
+// stochastic_test.go pins the new stream contract.
+
+// noiseGamma is the SplitMix64 increment (the odd fractional part of
+// the golden ratio), which decorrelates consecutive counter values
+// under mix64.
+const noiseGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output finalizer: a bijective avalanche mix
+// over 64 bits.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// noiseKey derives core's stream key from the run seed. Both inputs
+// pass through mix64 so that nearby seeds (1, 2, 3, ...) and nearby
+// core IDs yield unrelated streams.
+func noiseKey(seed int64, core int) uint64 {
+	return mix64(mix64(uint64(seed)+noiseGamma) ^ (uint64(core)+1)*noiseGamma)
+}
+
+// counterNoise is one core's noise stream. The zero value is not
+// meaningful; construct with newCounterNoise. It satisfies NoiseSource.
+type counterNoise struct {
+	key uint64
+	ctr uint64
+}
+
+func newCounterNoise(seed int64, core int) counterNoise {
+	return counterNoise{key: noiseKey(seed, core)}
+}
+
+// Uint32 returns the next draw and advances the counter. The high half
+// of the mix is returned; SplitMix64's upper bits have the stronger
+// avalanche.
+func (n *counterNoise) Uint32() uint32 {
+	v := mix64(n.key + n.ctr*noiseGamma)
+	n.ctr++
+	return uint32(v >> 32)
+}

@@ -2,26 +2,96 @@ package truenorth
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/obs"
 )
 
+// Engine selects the Simulator's execution strategy. Both engines are
+// bit-identical — same spike traces, output counts, energy statistics
+// and stochastic noise draws — by construction: the event-driven
+// engine only ever skips work that is provably a no-op (see
+// Core.idleActive and Core.livePotential), and stochastic thresholds
+// draw from per-core counter-based noise streams (noise.go) whose
+// values never depend on which other cores were evaluated.
+type Engine int
+
+const (
+	// EngineSparse is the event-driven engine (the default): each tick
+	// only cores that received spikes, hold a nonzero membrane
+	// potential, or host restless/stochastic neurons are evaluated,
+	// which tracks TrueNorth's own energy proposition — cost follows
+	// activity, not capacity.
+	EngineSparse Engine = iota
+	// EngineDense walks every core every tick, the reference
+	// behaviour the differential tests compare against.
+	EngineDense
+)
+
+// String returns the flag-level name of the engine.
+func (e Engine) String() string {
+	if e == EngineDense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// ParseEngine converts a flag value ("dense" or "sparse") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "dense":
+		return EngineDense, nil
+	case "sparse":
+		return EngineSparse, nil
+	}
+	return 0, fmt.Errorf("truenorth: unknown engine %q (want dense or sparse)", s)
+}
+
+// Option configures a Simulator at construction.
+type Option func(*Simulator)
+
+// WithEngine selects the execution engine (the default is EngineSparse).
+func WithEngine(e Engine) Option {
+	return func(s *Simulator) { s.engine = e }
+}
+
+// ringSlot is one delay slot of the axon spike ring: per-core bitsets
+// plus the set of cores actually written since the last clear, so
+// consuming a slot touches only buffers that hold spikes.
+type ringSlot struct {
+	bufs [][]uint64
+	// dirty flags cores with pending spikes in this slot; list holds
+	// the same set as ids (unordered) for O(written) clearing.
+	dirty []bool
+	list  []int
+}
+
+// activeSampleCap bounds the per-simulator reservoir of per-tick
+// active-core counts held between PublishMetrics calls; it mirrors the
+// obs histogram capacity so nothing is lost in the handoff.
+const activeSampleCap = 4096
+
 // Simulator advances a Model tick by tick. Spikes fired during tick t
 // are delivered to their target axons at tick t+1, matching the
 // one-tick synaptic delay of the hardware's default configuration.
 type Simulator struct {
-	model *Model
+	model  *Model
+	engine Engine
 	// ring holds MaxDelay+1 per-core axon spike buffers; slot indexes
 	// the buffer consumed on the next Step, and a spike with axonal
 	// delay d lands in ring[(slot+d) % len(ring)].
-	ring [][][]uint64
+	ring []ringSlot
 	slot int
-	rng  *rand.Rand
-	tick uint64
+	// noise holds one deterministic counter-based noise stream per
+	// core, keyed by (seed, coreID); see noise.go for why the streams
+	// are per-core rather than simulator-wide.
+	noise []counterNoise
+	tick  uint64
 	// outBuf holds per-pin output spikes from the last Step.
 	outBuf []bool
+	// worklist is the reusable buffer of core IDs evaluated this tick,
+	// kept in ascending order so both engines visit cores identically.
+	worklist []int
 
 	// spikesRouted counts spike deliveries across the routing fabric.
 	spikesRouted uint64
@@ -32,22 +102,46 @@ type Simulator struct {
 	// Reset/Run cycles (one per extracted cell) accumulate instead of
 	// overwriting.
 	published EnergyStats
+
+	// activeSamples reservoir-samples the per-tick active-core counts
+	// between PublishMetrics calls (collected only while telemetry is
+	// enabled, drained into the truenorth.active_cores_per_tick
+	// histogram at the collection boundary so the hot loop never
+	// touches the registry).
+	activeSamples []float64
+	activeTicks   uint64
+	activeLCG     uint64
 }
 
-// NewSimulator prepares a simulator for model. seed drives stochastic
-// neuron thresholds; runs with the same seed are bit-identical.
-func NewSimulator(model *Model, seed int64) (*Simulator, error) {
+// NewSimulator prepares a simulator for model. seed keys the per-core
+// stochastic threshold noise streams; runs with the same seed and
+// engine configuration are bit-identical, and the two engines are
+// bit-identical to each other under the same seed.
+func NewSimulator(model *Model, seed int64, opts ...Option) (*Simulator, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	n := model.NumCores()
 	s := &Simulator{
-		model:  model,
-		rng:    rand.New(rand.NewSource(seed)),
-		outBuf: make([]bool, model.NumOutputs()),
-		ring:   make([][][]uint64, MaxDelay+1),
+		model:    model,
+		engine:   EngineSparse,
+		outBuf:   make([]bool, model.NumOutputs()),
+		ring:     make([]ringSlot, MaxDelay+1),
+		noise:    make([]counterNoise, n),
+		worklist: make([]int, 0, n),
 	}
 	for k := range s.ring {
-		s.ring[k] = newSpikeBuffers(model)
+		s.ring[k] = ringSlot{
+			bufs:  newSpikeBuffers(model),
+			dirty: make([]bool, n),
+			list:  make([]int, 0, n),
+		}
+	}
+	for c := range s.noise {
+		s.noise[c] = newCounterNoise(seed, c)
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	// slot starts at 0; injections with the default delay of 1 land in
 	// slot 1 and are consumed on the first Step after the pointer
@@ -56,14 +150,21 @@ func NewSimulator(model *Model, seed int64) (*Simulator, error) {
 	return s, nil
 }
 
+// Engine returns the execution engine the simulator was built with.
+func (s *Simulator) Engine() Engine { return s.engine }
+
 // deliver schedules a spike into (core, axon) after the given delay
 // (0 is normalized to the default 1).
 func (s *Simulator) deliver(core, axon, delay int) {
 	if delay <= 0 {
 		delay = 1
 	}
-	buf := s.ring[(s.slot+delay)%len(s.ring)]
-	buf[core][axon/64] |= 1 << uint(axon%64)
+	slot := &s.ring[(s.slot+delay)%len(s.ring)]
+	slot.bufs[core][axon/64] |= 1 << uint(axon%64)
+	if !slot.dirty[core] {
+		slot.dirty[core] = true
+		slot.list = append(slot.list, core)
+	}
 }
 
 func newSpikeBuffers(m *Model) [][]uint64 {
@@ -99,26 +200,53 @@ func (s *Simulator) InjectInputs(pins []int) error {
 }
 
 // Step advances the simulation one tick: axon spikes queued for this
-// tick are integrated, all neurons leak and evaluate their thresholds,
-// and fired spikes are routed for the next tick. It returns the output
-// pins that spiked this tick (the returned slice is reused across
-// calls; copy it to retain).
+// tick are integrated, scheduled neurons leak and evaluate their
+// thresholds, and fired spikes are routed for the next tick. It
+// returns the output pins that spiked this tick (the returned slice is
+// reused across calls; copy it to retain).
+//
+// Under EngineDense every core is scheduled; under EngineSparse only
+// cores whose evaluation could differ from a no-op — spikes pending in
+// this tick's ring slot, a live membrane potential, or restless or
+// stochastic neurons (Core.idleActive). Cores are always visited in
+// ascending ID order so trace event order and noise draws match across
+// engines exactly.
 func (s *Simulator) Step() []bool {
 	// Advance to the slot injections (delay 1) were scheduled into,
 	// then consume it.
 	s.slot = (s.slot + 1) % len(s.ring)
-	cur := s.ring[s.slot]
+	cur := &s.ring[s.slot]
 	for i := range s.outBuf {
 		s.outBuf[i] = false
 	}
 
 	m := s.model
-	for c := 0; c < m.NumCores(); c++ {
+	work := s.worklist[:0]
+	if s.engine == EngineDense {
+		for c := 0; c < m.NumCores(); c++ {
+			work = append(work, c)
+		}
+	} else {
+		for c := 0; c < m.NumCores(); c++ {
+			core := m.Core(c)
+			if cur.dirty[c] || core.livePotential || core.idleActive() {
+				work = append(work, c)
+			}
+		}
+	}
+	s.worklist = work
+	if obs.Enabled() {
+		s.sampleActiveCores(len(work))
+	}
+
+	for _, c := range work {
 		core := m.Core(c)
-		core.Integrate(cur[c])
-		// fire (not Fire): s.rng is constructed seeded and non-nil in
+		if cur.dirty[c] {
+			core.Integrate(cur.bufs[c])
+		}
+		// fire (not Fire): s.noise[c] is constructed seeded in
 		// NewSimulator, so the NoiseSource precondition always holds.
-		for _, n := range core.fire(s.rng) {
+		for _, n := range core.fire(&s.noise[c]) {
 			if s.trace != nil {
 				s.trace.record(s.tick, c, n)
 			}
@@ -137,14 +265,36 @@ func (s *Simulator) Step() []bool {
 			}
 		}
 	}
-	// Clear the consumed slot for reuse a full ring-cycle later.
-	for _, buf := range cur {
+	// Clear the consumed slot for reuse a full ring-cycle later,
+	// touching only the buffers that were written.
+	for _, c := range cur.list {
+		buf := cur.bufs[c]
 		for i := range buf {
 			buf[i] = 0
 		}
+		cur.dirty[c] = false
 	}
+	cur.list = cur.list[:0]
 	s.tick++
 	return s.outBuf
+}
+
+// sampleActiveCores records one tick's active-core count into the
+// local reservoir (Vitter's algorithm R with a deterministic LCG, the
+// same scheme obs.Histogram uses) for PublishMetrics to drain.
+func (s *Simulator) sampleActiveCores(n int) {
+	if cap(s.activeSamples) == 0 {
+		s.activeSamples = make([]float64, 0, activeSampleCap)
+	}
+	s.activeTicks++
+	if len(s.activeSamples) < activeSampleCap {
+		s.activeSamples = append(s.activeSamples, float64(n))
+		return
+	}
+	s.activeLCG = s.activeLCG*6364136223846793005 + 1442695040888963407
+	if idx := s.activeLCG % s.activeTicks; idx < uint64(len(s.activeSamples)) {
+		s.activeSamples[idx] = float64(n)
+	}
 }
 
 // Run drives the simulator for ticks steps. Before each step, inputFn
@@ -171,7 +321,12 @@ func (s *Simulator) Run(ticks int, inputFn func(t int) []int) ([]int, error) {
 		}
 	}
 	if obs.Enabled() {
-		if secs := time.Since(start).Seconds(); secs > 0 && ticks > 0 {
+		// Always record the raw duration so short runs whose measured
+		// wall time rounds to zero still surface in telemetry; the
+		// derived rate gauge only makes sense for a positive duration.
+		d := time.Since(start)
+		obs.HistogramM("truenorth.run_duration_seconds").Observe(d.Seconds())
+		if secs := d.Seconds(); secs > 0 && ticks > 0 {
 			obs.GaugeM("truenorth.ticks_per_sec").Set(float64(ticks) / secs)
 		}
 		s.PublishMetrics()
@@ -182,11 +337,13 @@ func (s *Simulator) Run(ticks int, inputFn func(t int) []int) ([]int, error) {
 // PublishMetrics exports the simulator's activity since the previous
 // publish (or Reset) to the default obs registry: tick/spike/synapse
 // counters accumulate across Reset/Run cycles, the energy gauge
-// tracks the running total, and a per-run histogram records routed
-// spikes per run. The hot Step loop keeps its module-local counters;
-// this publishes them at a collection boundary, so simulation pays no
-// per-tick telemetry cost. Run calls it automatically when telemetry
-// is on.
+// tracks the running total, a per-run histogram records routed
+// spikes per run, and the active_cores_per_tick histogram receives the
+// reservoir of per-tick scheduled-core counts (the sparsity the
+// event-driven engine exploits). The hot Step loop keeps its
+// module-local counters; this publishes them at a collection boundary,
+// so simulation pays no per-tick telemetry cost. Run calls it
+// automatically when telemetry is on.
 func (s *Simulator) PublishMetrics() {
 	if !obs.Enabled() {
 		return
@@ -213,6 +370,15 @@ func (s *Simulator) PublishMetrics() {
 	if dTicks > 0 {
 		obs.HistogramM("truenorth.run_spikes_routed").Observe(float64(dRouted))
 	}
+	if len(s.activeSamples) > 0 {
+		ah := obs.HistogramM("truenorth.active_cores_per_tick")
+		for _, v := range s.activeSamples {
+			ah.Observe(v)
+		}
+		s.activeSamples = s.activeSamples[:0]
+		s.activeTicks = 0
+		s.activeLCG = 0
+	}
 	h := obs.HistogramM("truenorth.core_fires")
 	for c := 0; c < s.model.NumCores(); c++ {
 		h.Observe(float64(s.model.Core(c).FireEvents()))
@@ -220,8 +386,8 @@ func (s *Simulator) PublishMetrics() {
 }
 
 // Reset returns the simulator (and all core membrane potentials and
-// activity counters) to the initial state, keeping the RNG stream
-// position. After Reset, every observable counter — the tick,
+// activity counters) to the initial state, keeping the per-core noise
+// stream positions. After Reset, every observable counter — the tick,
 // SpikesRouted, per-core synaptic/fire events, delay-ring contents,
 // the output buffer, and the ring slot pointer — matches a freshly
 // constructed simulator, so run → Reset → rerun reproduces a fresh
@@ -230,12 +396,17 @@ func (s *Simulator) Reset() {
 	for c := 0; c < s.model.NumCores(); c++ {
 		s.model.Core(c).ResetState()
 	}
-	for _, slot := range s.ring {
-		for _, buf := range slot {
+	for si := range s.ring {
+		slot := &s.ring[si]
+		for _, buf := range slot.bufs {
 			for i := range buf {
 				buf[i] = 0
 			}
 		}
+		for i := range slot.dirty {
+			slot.dirty[i] = false
+		}
+		slot.list = slot.list[:0]
 	}
 	for i := range s.outBuf {
 		s.outBuf[i] = false
@@ -244,6 +415,9 @@ func (s *Simulator) Reset() {
 	s.tick = 0
 	s.spikesRouted = 0
 	s.published = EnergyStats{}
+	s.activeSamples = s.activeSamples[:0]
+	s.activeTicks = 0
+	s.activeLCG = 0
 }
 
 // SpikesRouted returns the number of spikes delivered across the

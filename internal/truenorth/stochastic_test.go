@@ -62,6 +62,99 @@ func runStochastic(t *testing.T, m *Model, seed int64, ticks int) []TraceEvent {
 	return tr.Events
 }
 
+// TestNoiseStreamGolden pins the per-core noise stream contract
+// introduced with the event-driven engine: draw i of core c's stream
+// under seed s is mix64(noiseKey(s,c) + i*noiseGamma), a pure function
+// of (seed, core, draw index). These literals are the golden values
+// for seed 42 — they must never change, because every stochastic
+// experiment's bit-reproducibility (and dense/sparse equivalence)
+// rests on this stream. The old simulator-wide *rand.Rand stream was
+// retired deliberately: its draws depended on how many draws
+// lower-numbered cores made first, which an engine that skips idle
+// cores cannot reproduce.
+func TestNoiseStreamGolden(t *testing.T) {
+	want := [][]uint32{
+		{0xcef34101, 0x55417331, 0x2b2fbcc3, 0x8e46733d, 0x87088910, 0x5f89f988},
+		{0x94fa24d3, 0xcc17a74e, 0x113a0138, 0xecc61adc, 0x269ed7b5, 0xbd72e92f},
+		{0xc3f45aae, 0x54ac130a, 0x2d76899c, 0x860c4ca4, 0xbcccbbd7, 0xdf2624d4},
+	}
+	for core, draws := range want {
+		n := newCounterNoise(42, core)
+		for i, w := range draws {
+			if got := n.Uint32(); got != w {
+				t.Fatalf("noise stream (seed 42, core %d) draw %d = %#x, want %#x — "+
+					"the per-core counter stream is a compatibility contract; see noise.go",
+					core, i, got, w)
+			}
+		}
+	}
+}
+
+// TestNoiseStreamIndependentOfOtherCores pins the property the
+// per-core keying buys: adding cores (or changing their activity) must
+// not perturb an existing core's noise draws. Under the retired shared
+// stream this test fails — core 1's draws shifted with every draw core
+// 0 made.
+func TestNoiseStreamIndependentOfOtherCores(t *testing.T) {
+	// One-core stochastic model vs the same core embedded alongside a
+	// busy stochastic sibling: traces for the shared core must match.
+	build := func(extraCore bool) *Model {
+		m := NewModel()
+		c, err := m.AddCore(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultNeuron()
+		p.Weights = [NumAxonTypes]int32{2, 0, 0, 0}
+		p.Threshold = 2
+		p.Stochastic = true
+		p.NoiseMask = 3
+		if err := c.SetNeuron(0, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(0, 0, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.AddInput(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Route(0, 0, Target{Core: ExternalCore, Axon: 0}); err != nil {
+			t.Fatal(err)
+		}
+		if extraCore {
+			c2, err := m.AddCore(8, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := 0; n < 8; n++ {
+				if err := c2.SetNeuron(n, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return m
+	}
+	run := func(m *Model) []TraceEvent {
+		sim, err := NewSimulator(m, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewCoreTrace(0)
+		sim.SetTrace(tr)
+		if _, err := sim.Run(100, func(int) []int { return []int{0} }); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Events
+	}
+	solo, accompanied := run(build(false)), run(build(true))
+	if len(solo) == 0 {
+		t.Fatal("stochastic core produced no spikes")
+	}
+	if !reflect.DeepEqual(solo, accompanied) {
+		t.Fatal("core 0's noise stream changed when a sibling core was added; streams must be keyed (seed, coreID)")
+	}
+}
+
 // TestStochasticSeedDeterminism is the regression test for the
 // detrand invariant: stochastic-threshold noise must come from the
 // simulator's injected seeded NoiseSource, never from the global

@@ -9,22 +9,32 @@ import (
 )
 
 // TestMain wires the bench harness to the telemetry exporter: when
-// BENCH_OBS_OUT names a file, telemetry is enabled for the whole run
-// and the final registry snapshot is written there, so
+// BENCH_OBS_OUT (or BENCH_SIM_OUT, the simulator-benchmark variant
+// `make bench-sim` uses) names a file, telemetry is enabled for the
+// whole run and the final registry snapshot is written there, so
 //
 //	BENCH_OBS_OUT=BENCH_obs.json go test -bench=. -run '^$'
 //
-// (or `make bench-obs`) captures simulator activity, training series
-// and detection timings alongside the benchmark numbers. Without the
-// variable, telemetry stays off and benchmarks measure the bare
-// pipelines.
+// (or `make bench-obs` / `make bench-sim`) captures simulator activity,
+// training series and detection timings alongside the benchmark
+// numbers. Without either variable, telemetry stays off and benchmarks
+// measure the bare pipelines.
 func TestMain(m *testing.M) {
-	out := os.Getenv("BENCH_OBS_OUT")
-	if out != "" {
+	outs := []string{os.Getenv("BENCH_OBS_OUT"), os.Getenv("BENCH_SIM_OUT")}
+	enabled := false
+	for _, out := range outs {
+		if out != "" {
+			enabled = true
+		}
+	}
+	if enabled {
 		obs.Enable()
 	}
 	code := m.Run()
-	if out != "" {
+	for _, out := range outs {
+		if out == "" {
+			continue
+		}
 		if err := obs.WriteSnapshotFile(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if code == 0 {

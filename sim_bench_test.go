@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/imgproc"
+	"repro/internal/napprox"
+	"repro/internal/truenorth"
+)
+
+// Simulator engine benchmarks: dense vs event-driven Step cost as a
+// function of fabric activity, plus the end-to-end NApprox corelet run.
+// `make bench-sim` executes exactly these and writes the telemetry
+// snapshot (including truenorth.active_cores_per_tick) to
+// BENCH_sim.json.
+
+// benchFabricCores sizes the synthetic fabric: 64 full-size
+// (256x256) cores, so a dense tick always walks 16384 neurons.
+const benchFabricCores = 64
+
+// benchStepModel builds the controlled-activity fabric. Each core has
+// one input pin on axon 0 fanned out to all 256 neurons; neurons fire
+// every few injected ticks and route to Disconnected, so activity never
+// cascades beyond the injected cores and the active fraction is set
+// purely by how many pins the driver feeds per tick.
+func benchStepModel(b *testing.B) *truenorth.Model {
+	b.Helper()
+	m := truenorth.NewModel()
+	for c := 0; c < benchFabricCores; c++ {
+		core, err := m.AddCore(truenorth.CoreSize, truenorth.CoreSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := truenorth.DefaultNeuron()
+		p.Weights = [truenorth.NumAxonTypes]int32{1, 0, 0, 0}
+		p.Threshold = 3
+		for n := 0; n < truenorth.CoreSize; n++ {
+			if err := core.SetNeuron(n, p); err != nil {
+				b.Fatal(err)
+			}
+			if err := core.Connect(0, n, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.AddInput(c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// benchStep measures one simulator tick with pct percent of the fabric
+// receiving input (at least one core). Steady state must be
+// allocation-free on both engines — TestStepSteadyStateAllocs pins the
+// same property as a hard test.
+func benchStep(b *testing.B, engine truenorth.Engine, pct int) {
+	sim, err := truenorth.NewSimulator(benchStepModel(b), 1, truenorth.WithEngine(engine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := benchFabricCores * pct / 100
+	if k < 1 {
+		k = 1
+	}
+	inject := func() {
+		for p := 0; p < k; p++ {
+			if err := sim.InjectInput(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Warm up scratch buffers (fired slices and ring dirty-lists grow
+	// to their steady-state capacity once).
+	for t := 0; t < 4; t++ {
+		inject()
+		sim.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inject()
+		sim.Step()
+	}
+	b.StopTimer()
+	sim.PublishMetrics()
+}
+
+func BenchmarkStepDense(b *testing.B) {
+	for _, pct := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("activity%d", pct), func(b *testing.B) {
+			benchStep(b, truenorth.EngineDense, pct)
+		})
+	}
+}
+
+func BenchmarkStepSparse(b *testing.B) {
+	for _, pct := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("activity%d", pct), func(b *testing.B) {
+			benchStep(b, truenorth.EngineSparse, pct)
+		})
+	}
+}
+
+// BenchmarkRunNApprox measures a full NApprox cell extraction (rate
+// coding, 23-core corelet, window + drain ticks) per engine — the
+// realistic mixed-activity workload behind the paper's feature
+// pipeline.
+func BenchmarkRunNApprox(b *testing.B) {
+	for _, engine := range []truenorth.Engine{truenorth.EngineDense, truenorth.EngineSparse} {
+		b.Run(engine.String(), func(b *testing.B) {
+			mod, err := napprox.BuildCellModule(napprox.TrueNorthConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := truenorth.NewSimulator(mod.Model, 1, truenorth.WithEngine(engine))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cell := imgproc.New(10, 10)
+			for y := 0; y < 10; y++ {
+				for x := 0; x < 10; x++ {
+					cell.Set(x, y, float64(x)*0.08)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mod.Extract(sim, cell); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sim.PublishMetrics()
+		})
+	}
+}
