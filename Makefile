@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race lint bench bench-obs bench-sim fuzz clean
+.PHONY: build test check vet race lint bench bench-obs bench-sim bench-detect fuzz clean
 
 # FUZZTIME bounds each fuzz target's smoke run (the committed seed
 # corpora under internal/truenorth/testdata/fuzz always run as plain
@@ -54,6 +54,14 @@ bench-obs:
 bench-sim:
 	BENCH_SIM_OUT=BENCH_sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse)|BenchmarkRunNApprox' -benchmem -run '^$$' .
 
+# bench-detect runs the detection-engine benchmarks (single image and
+# batch at workers 1/4/NumCPU, plus the 0-alloc inner scan loop) and
+# writes the telemetry snapshot — detect.workers, detect.band_ms,
+# detect.worker_utilization, windows/s — to BENCH_detect.json.
+# $(CURDIR) pins the path because go test runs in the package dir.
+bench-detect:
+	BENCH_DETECT_OUT=$(CURDIR)/BENCH_detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner)' -benchmem -run '^$$'
+
 # fuzz smoke-runs each native fuzz target for FUZZTIME. go test allows
 # one -fuzz pattern per invocation, hence the two runs.
 fuzz:
@@ -61,4 +69,4 @@ fuzz:
 	$(GO) test ./internal/truenorth -run '^$$' -fuzz '^FuzzDenseSparseEquivalence$$' -fuzztime $(FUZZTIME)
 
 clean:
-	rm -f BENCH_obs.json BENCH_sim.json
+	rm -f BENCH_obs.json BENCH_sim.json BENCH_detect.json

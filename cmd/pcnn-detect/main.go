@@ -39,6 +39,7 @@ func main() {
 	in := flag.String("in", "", "detect on this PGM image instead of a synthetic scene")
 	pgmOut := flag.String("pgm-out", "", "write the scene image here as PGM")
 	threshold := flag.Float64("threshold", 0, "detection score threshold")
+	workers := flag.Int("workers", 0, "detection scan workers (0 or 1 sequential; clamped to GOMAXPROCS; output is worker-count invariant)")
 	tele.Register(flag.CommandLine)
 	flag.Parse()
 	tele.MustStart()
@@ -91,6 +92,7 @@ func main() {
 
 	dcfg := detect.DefaultConfig()
 	dcfg.Threshold = *threshold
+	dcfg.Workers = *workers
 	det, err := part.Detector(dcfg)
 	if err != nil {
 		die(err)
@@ -98,6 +100,9 @@ func main() {
 	sp = root.StartChild("detect.Detect")
 	dets := det.Detect(img)
 	sp.End()
+	if n := det.DescriptorErrors(); n > 0 {
+		fmt.Printf("WARNING: %d windows dropped (descriptor errors)\n", n)
+	}
 	fmt.Printf("%d detections on %dx%d image:\n", len(dets), img.W, img.H)
 	for i, d := range dets {
 		match := ""

@@ -34,6 +34,7 @@ func main() {
 	full := flag.Bool("full", false, "use the paper-protocol-sized configuration (slow)")
 	cells := flag.Int("hwcells", 200, "cells for the hardware/software validation")
 	engine := flag.String("engine", "sparse", "truenorth execution engine: dense or sparse (bit-identical; sparse skips idle cores)")
+	workers := flag.Int("workers", 0, "detection scan workers (0 or 1 sequential; clamped to GOMAXPROCS; output is worker-count invariant)")
 	tele.Register(flag.CommandLine)
 	flag.Parse()
 	eng, err := truenorth.ParseEngine(*engine)
@@ -48,6 +49,7 @@ func main() {
 	if *full {
 		cfg = experiments.Full()
 	}
+	cfg.Detect.Workers = *workers
 
 	run := func(name string, fn func() error) {
 		switch *exp {
@@ -160,6 +162,10 @@ func printCurves(title string, fn func(experiments.Config) ([]experiments.CurveR
 	}
 	for i, c := range curves {
 		fmt.Printf("\n%s (log-average miss rate %.3f)\n", c.Name, c.LAMR)
+		if c.DescriptorErrors > 0 {
+			fmt.Printf("  WARNING: %d windows dropped (descriptor errors) — the scan silently shrank\n",
+				c.DescriptorErrors)
+		}
 		fmt.Printf("  %-12s %s\n", "FPPI", "miss rate")
 		for _, p := range c.Curve.Points {
 			fmt.Printf("  %-12.4f %.4f\n", p.X, p.Y)

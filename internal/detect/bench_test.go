@@ -1,0 +1,134 @@
+package detect
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/imgproc"
+	"repro/internal/obs"
+)
+
+// TestMain wires the detect benchmarks to the telemetry exporter: when
+// BENCH_DETECT_OUT names a file, telemetry is enabled for the run and
+// the final registry snapshot — detect.workers, detect.band_ms,
+// detect.worker_utilization, windows/s, NMS counters — is written
+// there. `make bench-detect` sets it to BENCH_detect.json.
+func TestMain(m *testing.M) {
+	out := os.Getenv("BENCH_DETECT_OUT")
+	if out != "" {
+		obs.Enable()
+	}
+	code := m.Run()
+	if out != "" {
+		if err := obs.WriteSnapshotFile(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", out)
+		}
+	}
+	os.Exit(code)
+}
+
+// benchWorkerCounts returns the sweep {1, 4, NumCPU}, deduplicated and
+// sorted ascending.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if c > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// raiseProcs lifts GOMAXPROCS to at least n for the duration of a
+// sub-benchmark so the worker pool is actually exercised; restore via
+// the returned func. Speedups only materialize with real cores — on a
+// single-CPU machine the parallel variants measure scheduling overhead.
+func raiseProcs(n int) func() {
+	prev := runtime.GOMAXPROCS(0)
+	if prev >= n {
+		return func() {}
+	}
+	runtime.GOMAXPROCS(n)
+	return func() { runtime.GOMAXPROCS(prev) }
+}
+
+// BenchmarkDetectImage measures the full single-image pipeline (scan +
+// NMS) at several intra-image band worker counts.
+func BenchmarkDetectImage(b *testing.B) {
+	det := trainedPipeline(b)
+	scene := dataset.NewGenerator(10).Scene(320, 240, 2, 130, 200)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			defer raiseProcs(w)()
+			det.Config.Workers = w
+			det.Detect(scene.Image) // warm scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = det.Detect(scene.Image)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectAll measures the multi-image pipeline: a batch of
+// scenes fanned across image workers.
+func BenchmarkDetectAll(b *testing.B) {
+	det := trainedPipeline(b)
+	gen := dataset.NewGenerator(11)
+	var imgs []*imgproc.Image
+	for i := 0; i < 4; i++ {
+		imgs = append(imgs, gen.Scene(288, 224, 1, 130, 200).Image)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			defer raiseProcs(w)()
+			det.Config.Workers = w
+			det.DetectAll(imgs) // warm scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = det.DetectAll(imgs)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectScanInner isolates the steady-state inner window
+// loop: one full level band scan over a warm grid and scratch. This is
+// the loop the 0 allocs/op acceptance criterion pins (see also
+// TestDetectSteadyStateAllocs).
+func BenchmarkDetectScanInner(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Threshold = -1e18
+	det := testDetector(b, cfg)
+	img := dataset.NewGenerator(9).NegativeImage(160, 160)
+	st := det.getState(1)
+	det.Extractor.GridInto(&st.grid, img)
+	nRows := (st.grid.CellsY-cfg.WindowCellsY)/cfg.StrideCells + 1
+	sc := &st.ws[0]
+	winW := cfg.WindowCellsX * cfg.CellSize
+	winH := cfg.WindowCellsY * cfg.CellSize
+	det.scanBand(sc, &st.grid, 0, nRows, 1, winW, winH) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.scanBand(sc, &st.grid, 0, nRows, 1, winW, winH)
+	}
+}

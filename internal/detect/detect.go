@@ -10,9 +10,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/hog"
 	"repro/internal/imgproc"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -20,9 +22,17 @@ import (
 
 // Extractor produces window descriptors from cell grids; hog.Extractor,
 // hog.FPGAExtractor, napprox.Extractor and parrot.Extractor satisfy it.
+// GridInto/DescriptorInto are the allocation-free forms the scan engine
+// uses: GridInto fills a reusable flat grid and DescriptorInto appends
+// the window descriptor to a caller-owned scratch buffer, producing
+// values identical to CellGrid/DescriptorAt. DescriptorInto must be
+// safe for concurrent callers holding distinct dst buffers over one
+// shared read-only grid.
 type Extractor interface {
 	CellGrid(img *imgproc.Image) [][][]float64
 	DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error)
+	GridInto(g *hog.Grid, img *imgproc.Image)
+	DescriptorInto(dst []float64, g *hog.Grid, cellX, cellY int) ([]float64, error)
 }
 
 // Scorer maps a window descriptor to a detection score; svm.Model and
@@ -55,6 +65,13 @@ type Config struct {
 	Threshold float64
 	// NMSEpsilon is the overlap at which a weaker box is suppressed.
 	NMSEpsilon float64
+	// Workers bounds the scan parallelism: pyramid-level window rows
+	// are split into bands dispatched to this many goroutines, and
+	// DetectAll pipelines whole images across them. 0 or 1 selects the
+	// sequential path; values above GOMAXPROCS are clamped to it.
+	// Detect output is invariant to Workers — bands merge in (level,
+	// row, col) order, bit-identical to the sequential scan.
+	Workers int
 }
 
 // DefaultConfig returns the paper's protocol parameters.
@@ -77,15 +94,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("detect: stride %d must be positive", c.StrideCells)
 	case c.NMSEpsilon < 0 || c.NMSEpsilon > 1:
 		return fmt.Errorf("detect: NMS epsilon %v outside [0,1]", c.NMSEpsilon)
+	case c.Workers < 0:
+		return fmt.Errorf("detect: workers %d < 0", c.Workers)
 	}
 	return nil
 }
 
-// Detector combines an extractor and a scorer under a Config.
+// Detector combines an extractor and a scorer under a Config. Use
+// NewDetector; a Detector must not be copied after first use (it owns
+// a scratch pool and error counter shared across scans).
 type Detector struct {
 	Extractor Extractor
 	Scorer    Scorer
 	Config    Config
+
+	descErrors atomic.Uint64 // windows dropped: DescriptorInto failed
+	scratch    sync.Pool     // *scanState, reused across scans
 }
 
 // NewDetector validates the configuration and returns a detector.
@@ -99,6 +123,13 @@ func NewDetector(e Extractor, s Scorer, cfg Config) (*Detector, error) {
 	return &Detector{Extractor: e, Scorer: s, Config: cfg}, nil
 }
 
+// DescriptorErrors returns the cumulative number of windows this
+// detector dropped because the extractor failed to produce a
+// descriptor (for example a truncated cell grid). The pre-parallel
+// engine discarded these silently; the count makes shrunken scans
+// visible to callers such as pcnn-eval.
+func (d *Detector) DescriptorErrors() uint64 { return d.descErrors.Load() }
+
 // Detect scans img and returns NMS-filtered detections in image
 // coordinates, sorted by descending score.
 func (d *Detector) Detect(img *imgproc.Image) []Detection {
@@ -111,95 +142,82 @@ func (d *Detector) Detect(img *imgproc.Image) []Detection {
 	return kept
 }
 
-// DetectRaw returns all above-threshold windows before suppression.
-// With telemetry enabled it records, per pyramid level, the windows
-// scanned and the wall-clock time spent, plus an aggregate windows/s
-// gauge; the per-window inner loop itself carries no telemetry.
-func (d *Detector) DetectRaw(img *imgproc.Image) []Detection {
-	cfg := d.Config
-	winW := cfg.WindowCellsX * cfg.CellSize
-	winH := cfg.WindowCellsY * cfg.CellSize
-	levels := imgproc.Pyramid(img, cfg.ScaleFactor, winW, winH, cfg.MaxLevels)
-	measured := obs.Enabled()
-	var scanStart time.Time
-	var totalWindows uint64
-	if measured {
-		scanStart = time.Now()
+// lessDet is the total order detections are processed in: descending
+// score, ties broken by box geometry (X, then Y, W, H ascending). An
+// explicit tie-break — rather than sort stability — makes NMS and
+// Evaluate invariant to the input permutation, not merely
+// deterministic for one ordering.
+func lessDet(a, b Detection) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
-	var out []Detection
-	for li, level := range levels {
-		var levelStart time.Time
-		if measured {
-			levelStart = time.Now()
-		}
-		windows := 0
-		scale := math.Pow(cfg.ScaleFactor, float64(li))
-		grid := d.Extractor.CellGrid(level)
-		cy := len(grid)
-		if cy == 0 {
-			continue
-		}
-		cx := len(grid[0])
-		for gy := 0; gy+cfg.WindowCellsY <= cy; gy += cfg.StrideCells {
-			for gx := 0; gx+cfg.WindowCellsX <= cx; gx += cfg.StrideCells {
-				windows++
-				desc, err := d.Extractor.DescriptorAt(grid, gx, gy)
-				if err != nil {
-					continue
-				}
-				s := d.Scorer.Score(desc)
-				if s < cfg.Threshold {
-					continue
-				}
-				out = append(out, Detection{
-					Box: dataset.Box{
-						X: int(float64(gx*cfg.CellSize) * scale),
-						Y: int(float64(gy*cfg.CellSize) * scale),
-						W: int(float64(winW) * scale),
-						H: int(float64(winH) * scale),
-					},
-					Score: s,
-				})
-			}
-		}
-		if measured {
-			totalWindows += uint64(windows)
-			obs.HistogramM("detect.level_windows").Observe(float64(windows))
-			obs.HistogramM("detect.level_ms").Observe(float64(time.Since(levelStart).Microseconds()) / 1000)
-		}
+	if a.Box.X != b.Box.X {
+		return a.Box.X < b.Box.X
 	}
-	if measured {
-		obs.CounterM("detect.images").Inc()
-		obs.CounterM("detect.windows_scanned").Add(totalWindows)
-		obs.CounterM("detect.windows_above_threshold").Add(uint64(len(out)))
-		obs.CounterM("detect.pyramid_levels").Add(uint64(len(levels)))
-		if secs := time.Since(scanStart).Seconds(); secs > 0 {
-			obs.GaugeM("detect.windows_per_sec").Set(float64(totalWindows) / secs)
-		}
+	if a.Box.Y != b.Box.Y {
+		return a.Box.Y < b.Box.Y
 	}
-	return out
+	if a.Box.W != b.Box.W {
+		return a.Box.W < b.Box.W
+	}
+	return a.Box.H < b.Box.H
 }
 
 // NMS applies greedy non-maximum suppression: detections are taken in
-// descending score order and any remaining box overlapping a kept box
-// with IoU > eps is discarded.
+// lessDet order (descending score, deterministic tie-break) and any
+// remaining box overlapping a kept box with IoU > eps is discarded.
+//
+// Kept boxes are indexed in a uniform grid of cells sized to the
+// largest box dimension S: a kept box can only suppress a candidate it
+// intersects, and any intersecting box's top-left corner lies within
+// (-S, S) of the candidate's, i.e. in the 3x3 cell neighborhood. The
+// inner scan therefore touches only nearby kept boxes instead of all
+// of them, while keeping exactly the greedy pass's kept set.
 func NMS(dets []Detection, eps float64) []Detection {
 	sorted := append([]Detection(nil), dets...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	sort.Slice(sorted, func(i, j int) bool { return lessDet(sorted[i], sorted[j]) })
+	cell := 1
+	for _, d := range sorted {
+		if d.Box.W > cell {
+			cell = d.Box.W
+		}
+		if d.Box.H > cell {
+			cell = d.Box.H
+		}
+	}
+	buckets := make(map[[2]int][]Detection)
 	var kept []Detection
 	for _, d := range sorted {
+		cx, cy := floorDiv(d.Box.X, cell), floorDiv(d.Box.Y, cell)
 		ok := true
-		for _, k := range kept {
-			if d.Box.IoU(k.Box) > eps {
-				ok = false
-				break
+	scan:
+		for by := cy - 1; by <= cy+1; by++ {
+			for bx := cx - 1; bx <= cx+1; bx++ {
+				for _, k := range buckets[[2]int{bx, by}] {
+					if d.Box.IoU(k.Box) > eps {
+						ok = false
+						break scan
+					}
+				}
 			}
 		}
 		if ok {
 			kept = append(kept, d)
+			key := [2]int{cx, cy}
+			buckets[key] = append(buckets[key], d)
 		}
 	}
 	return kept
+}
+
+// floorDiv returns floor(a/b) for b > 0 (Go's integer division
+// truncates toward zero, which is wrong for negative coordinates).
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }
 
 // Evaluate computes the miss-rate/FPPI curve over a test set:
@@ -223,7 +241,7 @@ func Evaluate(dets [][]Detection, truths [][]dataset.Box, minIoU float64) *stats
 		totalGT += len(gts)
 		matched := make([]bool, len(gts))
 		ds := append([]Detection(nil), dets[i]...)
-		sort.Slice(ds, func(a, b int) bool { return ds[a].Score > ds[b].Score })
+		sort.Slice(ds, func(a, b int) bool { return lessDet(ds[a], ds[b]) })
 		for _, det := range ds {
 			best := -1
 			bestIoU := minIoU
@@ -248,7 +266,7 @@ func Evaluate(dets [][]Detection, truths [][]dataset.Box, minIoU float64) *stats
 	if nImages == 0 {
 		return curve
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
 	tp, fp := 0, 0
 	for i, s := range all {
 		if s.tp {

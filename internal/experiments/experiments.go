@@ -129,31 +129,41 @@ type CurveResult struct {
 	Curve *stats.Curve
 	// LAMR is the log-average miss rate over FPPI 0.01..1.
 	LAMR float64
+	// DescriptorErrors counts windows the detector dropped because the
+	// extractor failed to produce a descriptor. Non-zero means the scan
+	// silently shrank; pcnn-eval surfaces it.
+	DescriptorErrors uint64
 }
 
 // evalPartition runs the detection protocol for a partition over the
-// shared test scenes and returns its curve.
+// shared test scenes and returns its curve. Scenes are generated up
+// front (same generator call order as scanning them one by one) and
+// detected as a batch, so cfg.Detect.Workers pipelines whole images.
 func evalPartition(name string, part *core.Partition, cfg Config) (CurveResult, error) {
 	det, err := part.Detector(cfg.Detect)
 	if err != nil {
 		return CurveResult{}, err
 	}
 	gen := dataset.NewGenerator(cfg.Seed + 1000)
-	var dets [][]detect.Detection
+	var imgs []*imgproc.Image
 	var truths [][]dataset.Box
 	for i := 0; i < cfg.Scenes; i++ {
 		scene := gen.Scene(cfg.SceneW, cfg.SceneH, cfg.PersonsPerScene, cfg.PersonMinH, cfg.PersonMaxH)
-		dets = append(dets, det.Detect(scene.Image))
+		imgs = append(imgs, scene.Image)
 		truths = append(truths, scene.Truth)
 	}
 	for i := 0; i < cfg.EmptyScenes; i++ {
-		img := gen.NegativeImage(cfg.SceneW, cfg.SceneH)
-		dets = append(dets, det.Detect(img))
+		imgs = append(imgs, gen.NegativeImage(cfg.SceneW, cfg.SceneH))
 		truths = append(truths, nil)
 	}
+	errsBefore := det.DescriptorErrors()
+	dets := det.DetectAll(imgs)
 	curve := detect.Evaluate(dets, truths, 0.5)
 	curve.Name = name
-	return CurveResult{Name: name, Curve: curve, LAMR: detect.LogAvgMissRate(curve)}, nil
+	return CurveResult{
+		Name: name, Curve: curve, LAMR: detect.LogAvgMissRate(curve),
+		DescriptorErrors: det.DescriptorErrors() - errsBefore,
+	}, nil
 }
 
 // publishCoreletActivity drives the NApprox cell corelet on the

@@ -49,9 +49,19 @@ func (e *FPGAExtractor) Format() fixed.Q { return e.q }
 // Histogram entries are returned as float64 for interchange but every
 // value is exactly representable in the Q format.
 func (e *FPGAExtractor) CellGrid(img *imgproc.Image) [][][]float64 {
+	var g Grid
+	e.GridInto(&g, img)
+	return g.Views()
+}
+
+// GridInto computes the fixed-point cell histograms of img into g,
+// reusing g's backing storage (identical values to CellGrid). Safe to
+// call concurrently on distinct grids.
+func (e *FPGAExtractor) GridInto(g *Grid, img *imgproc.Image) {
 	cs := e.cfg.CellSize
 	cx, cy := img.W/cs, img.H/cs
 	q := e.q
+	g.Reset(cx, cy, e.cfg.NBins)
 
 	// Quantize the image once; the FPGA receives 8-bit pixels which we
 	// model as Q8.8 values in [0, 1].
@@ -75,11 +85,12 @@ func (e *FPGAExtractor) CellGrid(img *imgproc.Image) [][][]float64 {
 		return pix[y*img.W+x]
 	}
 
-	grid := make([][][]float64, cy)
+	hist := make([]int64, e.cfg.NBins)
 	for j := 0; j < cy; j++ {
-		grid[j] = make([][]float64, cx)
 		for i := 0; i < cx; i++ {
-			hist := make([]int64, e.cfg.NBins)
+			for b := range hist {
+				hist[b] = 0
+			}
 			for y := j * cs; y < (j+1)*cs; y++ {
 				for x := i * cs; x < (i+1)*cs; x++ {
 					ix := q.Sub(at(x+1, y), at(x-1, y))
@@ -92,14 +103,12 @@ func (e *FPGAExtractor) CellGrid(img *imgproc.Image) [][][]float64 {
 					hist[bin] = q.Add(hist[bin], mag)
 				}
 			}
-			fh := make([]float64, len(hist))
+			fh := g.Hist(i, j)
 			for b, v := range hist {
 				fh[b] = q.ToFloat(v)
 			}
-			grid[j][i] = fh
 		}
 	}
-	return grid
 }
 
 // Descriptor computes the full fixed-point window descriptor. Block L2
@@ -119,4 +128,12 @@ func (e *FPGAExtractor) Descriptor(window *imgproc.Image) ([]float64, error) {
 func (e *FPGAExtractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error) {
 	ref := Extractor{cfg: e.cfg}
 	return ref.DescriptorAt(grid, cellX, cellY)
+}
+
+// DescriptorInto mirrors Extractor.DescriptorInto for the fixed-point
+// grid: block assembly and normalization are the same float model, so
+// delegation preserves bit-identity with DescriptorAt.
+func (e *FPGAExtractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]float64, error) {
+	ref := Extractor{cfg: e.cfg}
+	return ref.DescriptorInto(dst, g, cellX, cellY)
 }

@@ -1,0 +1,67 @@
+package hog
+
+import "fmt"
+
+// Grid is a flat, cache-friendly cell-histogram grid: Data holds
+// CellsY x CellsX histograms of Bins values each, row-major with bins
+// innermost (Data[(cy*CellsX+cx)*Bins + b]). It is the allocation-lean
+// counterpart of the [][][]float64 grids the extractors historically
+// returned: one backing array instead of CellsY*CellsX small slices,
+// reusable across pyramid levels and images via Reset.
+//
+// A Grid is owned by one scanning goroutine at a time while being
+// filled; once filled it is safe for concurrent readers (the detect
+// engine's window workers share one level grid read-only).
+type Grid struct {
+	CellsX, CellsY, Bins int
+	Data                 []float64
+}
+
+// Reset resizes the grid to cellsX x cellsY cells of bins values,
+// reusing the backing array when it has capacity, and zeroes it.
+func (g *Grid) Reset(cellsX, cellsY, bins int) {
+	n := cellsX * cellsY * bins
+	if cap(g.Data) < n {
+		g.Data = make([]float64, n)
+	} else {
+		g.Data = g.Data[:n]
+		for i := range g.Data {
+			g.Data[i] = 0
+		}
+	}
+	g.CellsX, g.CellsY, g.Bins = cellsX, cellsY, bins
+}
+
+// Hist returns the histogram of cell (cx, cy) as a view into Data.
+func (g *Grid) Hist(cx, cy int) []float64 {
+	off := (cy*g.CellsX + cx) * g.Bins
+	return g.Data[off : off+g.Bins]
+}
+
+// Views re-exposes the flat grid in the legacy [][][]float64 indexing
+// ([cy][cx][bin]); every histogram is a view sharing g.Data, so the
+// conversion costs CellsY+2 allocations instead of CellsY*CellsX.
+func (g *Grid) Views() [][][]float64 {
+	rows := make([][][]float64, g.CellsY)
+	for j := 0; j < g.CellsY; j++ {
+		row := make([][]float64, g.CellsX)
+		for i := 0; i < g.CellsX; i++ {
+			row[i] = g.Hist(i, j)
+		}
+		rows[j] = row
+	}
+	return rows
+}
+
+// checkWindow validates that a window of cx x cy cells with bins-wide
+// histograms fits g at top-left cell (cellX, cellY).
+func (g *Grid) checkWindow(cellX, cellY, cx, cy, bins int) error {
+	if bins != g.Bins {
+		return fmt.Errorf("hog: grid has %d bins, extractor wants %d", g.Bins, bins)
+	}
+	if cellX < 0 || cellY < 0 || cellX+cx > g.CellsX || cellY+cy > g.CellsY {
+		return fmt.Errorf("hog: window cells [%d:%d)x[%d:%d) outside grid %dx%d",
+			cellX, cellX+cx, cellY, cellY+cy, g.CellsX, g.CellsY)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package hog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/imgproc"
+)
+
+// noiseImage returns a deterministic pseudo-random test image.
+func noiseImage(w, h int, seed int64) *imgproc.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := imgproc.New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64()
+	}
+	return img
+}
+
+// gridConfigs covers the voting paths GridInto must reproduce.
+func gridConfigs() map[string]Config {
+	interp := Reference()
+	interp.SpatialInterp = true
+	return map[string]Config{
+		"reference":     Reference(),
+		"napprox-style": NApproxStyle(),
+		"spatial":       interp,
+	}
+}
+
+func TestGridIntoMatchesCellGrid(t *testing.T) {
+	img := noiseImage(96, 160, 1)
+	for name, cfg := range gridConfigs() {
+		e, err := NewExtractor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := e.CellGrid(img)
+		var g Grid
+		e.GridInto(&g, img)
+		if g.CellsY != len(legacy) || g.CellsX != len(legacy[0]) || g.Bins != cfg.NBins {
+			t.Fatalf("%s: grid is %dx%dx%d, want %dx%dx%d",
+				name, g.CellsX, g.CellsY, g.Bins, len(legacy[0]), len(legacy), cfg.NBins)
+		}
+		for cy := 0; cy < g.CellsY; cy++ {
+			for cx := 0; cx < g.CellsX; cx++ {
+				if !reflect.DeepEqual(g.Hist(cx, cy), legacy[cy][cx]) {
+					t.Fatalf("%s: cell (%d,%d) differs", name, cx, cy)
+				}
+			}
+		}
+	}
+}
+
+func TestGridResetReusesAndZeroes(t *testing.T) {
+	var g Grid
+	g.Reset(4, 4, 9)
+	for i := range g.Data {
+		g.Data[i] = 7
+	}
+	backing := &g.Data[0]
+	g.Reset(3, 3, 9) // smaller: must reuse and zero
+	if &g.Data[0] != backing {
+		t.Fatal("shrinking Reset reallocated")
+	}
+	for i, v := range g.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v after Reset, want 0", i, v)
+		}
+	}
+}
+
+func TestDescriptorIntoMatchesDescriptorAt(t *testing.T) {
+	img := noiseImage(96, 160, 2)
+	for name, cfg := range gridConfigs() {
+		e, err := NewExtractor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := e.CellGrid(img)
+		var g Grid
+		e.GridInto(&g, img)
+		var dst []float64
+		for cy := 0; cy+cfg.CellsY() <= g.CellsY; cy++ {
+			for cx := 0; cx+cfg.CellsX() <= g.CellsX; cx++ {
+				want, err := e.DescriptorAt(legacy, cx, cy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.DescriptorInto(dst[:0], &g, cx, cy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: descriptor at (%d,%d) differs", name, cx, cy)
+				}
+				dst = got // reuse scratch like the scan engine does
+			}
+		}
+	}
+}
+
+func TestDescriptorIntoAppends(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Grid
+	e.GridInto(&g, noiseImage(64, 128, 3))
+	prefix := []float64{1, 2, 3}
+	out, err := e.DescriptorInto(prefix, &g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3+e.Config().DescriptorLen() {
+		t.Fatalf("appended %d values, want %d", len(out)-3, e.Config().DescriptorLen())
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatal("prefix clobbered")
+	}
+}
+
+func TestDescriptorIntoErrors(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Grid
+	e.GridInto(&g, noiseImage(64, 128, 4))
+	dst := make([]float64, 0, 8)
+	if out, err := e.DescriptorInto(dst, &g, 1, 0); err == nil {
+		t.Fatal("out-of-bounds window should error")
+	} else if len(out) != 0 || cap(out) != cap(dst) {
+		t.Fatal("dst not returned unchanged on error")
+	}
+	bad := NApproxStyle()
+	be, err := NewExtractor(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.DescriptorInto(dst, &g, 0, 0); err == nil {
+		t.Fatal("bin-count mismatch should error")
+	}
+}
+
+func TestFPGAGridIntoAndDescriptorInto(t *testing.T) {
+	e, err := NewFPGAExtractor(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := noiseImage(96, 160, 5)
+	legacy := e.CellGrid(img)
+	var g Grid
+	e.GridInto(&g, img)
+	views := g.Views()
+	if !reflect.DeepEqual(views, legacy) {
+		t.Fatal("FPGA GridInto differs from CellGrid")
+	}
+	want, err := e.DescriptorAt(legacy, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.DescriptorInto(nil, &g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("FPGA DescriptorInto differs from DescriptorAt")
+	}
+}

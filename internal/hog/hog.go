@@ -275,36 +275,40 @@ func (e *Extractor) vote(hist []float64, mag, ang float64) {
 // cells are ignored. Gradients at image borders use replicate padding.
 // The result is indexed [cy][cx][bin].
 func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
+	var g Grid
+	e.GridInto(&g, img)
+	return g.Views()
+}
+
+// GridInto computes the per-cell orientation histograms of img into g,
+// reusing g's backing storage. It is the allocation-lean form of
+// CellGrid (identical values) and is safe to call concurrently on
+// distinct grids.
+func (e *Extractor) GridInto(g *Grid, img *imgproc.Image) {
 	cs := e.cfg.CellSize
 	cx, cy := img.W/cs, img.H/cs
-	g := imgproc.ComputeGradient(img)
-	grid := make([][][]float64, cy)
-	for j := 0; j < cy; j++ {
-		grid[j] = make([][]float64, cx)
-		for i := 0; i < cx; i++ {
-			grid[j][i] = make([]float64, e.cfg.NBins)
-		}
-	}
+	g.Reset(cx, cy, e.cfg.NBins)
+	grad := imgproc.ComputeGradient(img)
 	if !e.cfg.SpatialInterp {
 		for j := 0; j < cy; j++ {
 			for i := 0; i < cx; i++ {
-				hist := grid[j][i]
+				hist := g.Hist(i, j)
 				for y := j * cs; y < (j+1)*cs; y++ {
 					for x := i * cs; x < (i+1)*cs; x++ {
-						mag, ang := g.MagAngle(x, y)
+						mag, ang := grad.MagAngle(x, y)
 						e.vote(hist, mag, ang)
 					}
 				}
 			}
 		}
-		return grid
+		return
 	}
 	// Full Dalal-Triggs: each pixel's vote is split bilinearly among
 	// the four cells whose centers surround it.
 	half := float64(cs) / 2
 	for y := 0; y < cy*cs; y++ {
 		for x := 0; x < cx*cs; x++ {
-			mag, ang := g.MagAngle(x, y)
+			mag, ang := grad.MagAngle(x, y)
 			if mag == 0 {
 				continue
 			}
@@ -327,11 +331,10 @@ func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
 				if gx < 0 || gx >= cx || gy < 0 || gy >= cy || c.w == 0 {
 					continue
 				}
-				e.vote(grid[gy][gx], mag*c.w, ang)
+				e.vote(g.Hist(gx, gy), mag*c.w, ang)
 			}
 		}
 	}
-	return grid
 }
 
 // CellHistogram computes the histogram of a single cell supplied with a
@@ -414,4 +417,29 @@ func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float6
 		sub[j] = grid[cellY+j][cellX : cellX+cx]
 	}
 	return e.DescriptorFromGrid(sub)
+}
+
+// DescriptorInto appends the descriptor of the window whose top-left
+// cell is (cellX, cellY) in g to dst and returns the extended slice —
+// the same values as DescriptorAt but with zero allocations once dst
+// has capacity (append into dst[:0] of a per-worker scratch buffer).
+// On error dst is returned unchanged.
+func (e *Extractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]float64, error) {
+	cx, cy := e.cfg.CellsX(), e.cfg.CellsY()
+	if err := g.checkWindow(cellX, cellY, cx, cy, e.cfg.NBins); err != nil {
+		return dst, err
+	}
+	bc, bs := e.cfg.BlockCells, e.cfg.BlockStride
+	for by := 0; by+bc <= cy; by += bs {
+		for bx := 0; bx+bc <= cx; bx += bs {
+			start := len(dst)
+			for j := 0; j < bc; j++ {
+				for i := 0; i < bc; i++ {
+					dst = append(dst, g.Hist(cellX+bx+i, cellY+by+j)...)
+				}
+			}
+			applyNorm(e.cfg.Norm, dst[start:])
+		}
+	}
+	return dst, nil
 }

@@ -1,0 +1,47 @@
+package napprox
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+// TestGridIntoMatchesCellGrid checks the flat-grid path reproduces the
+// legacy grid bit-for-bit in both quantized and full-precision modes,
+// and that DescriptorInto matches DescriptorAt over it.
+func TestGridIntoMatchesCellGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := imgproc.New(96, 160)
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64()
+	}
+	for name, cfg := range map[string]Config{
+		"truenorth": TrueNorthConfig(),
+		"fp":        FullPrecision(),
+	} {
+		e, err := New(cfg, hog.NormL2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := e.CellGrid(img)
+		var g hog.Grid
+		e.GridInto(&g, img)
+		if !reflect.DeepEqual(g.Views(), legacy) {
+			t.Fatalf("%s: GridInto differs from CellGrid", name)
+		}
+		want, err := e.DescriptorAt(legacy, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.DescriptorInto(nil, &g, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: DescriptorInto differs from DescriptorAt", name)
+		}
+	}
+}

@@ -371,18 +371,24 @@ func (e *Extractor) CellHistogram(cell *imgproc.Image) ([]float64, error) {
 
 // CellGrid computes per-cell histograms over img, indexed [cy][cx][bin].
 func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
+	var g hog.Grid
+	e.GridInto(&g, img)
+	return g.Views()
+}
+
+// GridInto computes per-cell histograms over img into g, reusing g's
+// backing storage (identical values to CellGrid). Calls on distinct
+// grids are concurrency-safe except in VoteRace mode with SpikeWindow
+// zero, whose full-precision fallback flips e.cfg.Mode in place.
+func (e *Extractor) GridInto(g *hog.Grid, img *imgproc.Image) {
 	cs := e.cfg.CellSize
 	cx, cy := img.W/cs, img.H/cs
-	grid := make([][][]float64, cy)
+	g.Reset(cx, cy, e.cfg.NBins)
 	for j := 0; j < cy; j++ {
-		grid[j] = make([][]float64, cx)
 		for i := 0; i < cx; i++ {
-			hist := make([]float64, e.cfg.NBins)
-			e.voteCell(img, i*cs, j*cs, hist)
-			grid[j][i] = hist
+			e.voteCell(img, i*cs, j*cs, g.Hist(i, j))
 		}
 	}
-	return grid
 }
 
 // Descriptor computes the 64x128-window descriptor with the block
@@ -401,6 +407,13 @@ func (e *Extractor) Descriptor(window *imgproc.Image) ([]float64, error) {
 // grid with the window's top-left cell at (cellX, cellY).
 func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error) {
 	return e.asm.DescriptorAt(grid, cellX, cellY)
+}
+
+// DescriptorInto appends the window descriptor at (cellX, cellY) to
+// dst — DescriptorAt without the per-window allocations. Safe for
+// concurrent callers with distinct dst buffers.
+func (e *Extractor) DescriptorInto(dst []float64, g *hog.Grid, cellX, cellY int) ([]float64, error) {
+	return e.asm.DescriptorInto(dst, g, cellX, cellY)
 }
 
 // DescriptorLen returns the window descriptor length.

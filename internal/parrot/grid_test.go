@@ -1,0 +1,47 @@
+package parrot
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/eedn"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+// TestGridIntoMatchesCellGrid checks the flat-grid path reproduces the
+// legacy grid bit-for-bit. An untrained network suffices: conformance
+// is about the two code paths agreeing, not feature quality.
+func TestGridIntoMatchesCellGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := eedn.NewParrotNet(NBins, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExtractor(net, 0, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := imgproc.New(80, 144)
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64()
+	}
+	legacy := e.CellGrid(img)
+	var g hog.Grid
+	e.GridInto(&g, img)
+	if !reflect.DeepEqual(g.Views(), legacy) {
+		t.Fatal("GridInto differs from CellGrid")
+	}
+	want, err := e.DescriptorAt(legacy, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.DescriptorInto(nil, &g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("DescriptorInto differs from DescriptorAt")
+	}
+}

@@ -300,11 +300,21 @@ func (e *Extractor) CellHistogram(cell *imgproc.Image) ([]float64, error) {
 // CellGrid computes parrot histograms for every 8x8 cell of img, each
 // cell evaluated with its one-pixel border.
 func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
+	var g hog.Grid
+	e.GridInto(&g, img)
+	return g.Views()
+}
+
+// GridInto computes parrot histograms for every cell of img into g,
+// reusing g's backing storage (identical values to CellGrid). Network
+// inference allocates internally, so this trims only the grid
+// plumbing; calls are NOT concurrency-safe when Stochastic (the shared
+// Rng serializes coding draws).
+func (e *Extractor) GridInto(g *hog.Grid, img *imgproc.Image) {
 	const cs = 8
 	cx, cy := img.W/cs, img.H/cs
-	grid := make([][][]float64, cy)
+	g.Reset(cx, cy, NBins)
 	for j := 0; j < cy; j++ {
-		grid[j] = make([][]float64, cx)
 		for i := 0; i < cx; i++ {
 			patch := img.SubImage(i*cs-1, j*cs-1, CellSide, CellSide)
 			hist, err := e.CellHistogram(patch)
@@ -313,15 +323,21 @@ func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
 				//lint:allow errpanic SubImage always yields CellSide patches, so CellHistogram cannot fail here
 				panic(err)
 			}
-			grid[j][i] = hist
+			copy(g.Hist(i, j), hist)
 		}
 	}
-	return grid
 }
 
 // DescriptorAt assembles a 64x128-window descriptor from a grid.
 func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float64, error) {
 	return e.asm.DescriptorAt(grid, cellX, cellY)
+}
+
+// DescriptorInto appends the window descriptor at (cellX, cellY) to
+// dst — DescriptorAt without per-window allocations. Safe for
+// concurrent callers with distinct dst buffers.
+func (e *Extractor) DescriptorInto(dst []float64, g *hog.Grid, cellX, cellY int) ([]float64, error) {
+	return e.asm.DescriptorInto(dst, g, cellX, cellY)
 }
 
 // Descriptor computes the descriptor of a single 64x128 window.
