@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race lint bench bench-obs bench-sim bench-detect fuzz clean
+.PHONY: build test check vet race lint bench bench-obs bench-sim bench-detect bench-gate fuzz clean
 
 # FUZZTIME bounds each fuzz target's smoke run (the committed seed
 # corpora under internal/truenorth/testdata/fuzz always run as plain
@@ -61,6 +61,22 @@ bench-sim:
 # $(CURDIR) pins the path because go test runs in the package dir.
 bench-detect:
 	BENCH_DETECT_OUT=$(CURDIR)/BENCH_detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner)' -benchmem -run '^$$'
+
+# bench-gate is the regression sentinel: short (-benchtime=1x) runs of
+# the detection and simulator benchmarks write fresh telemetry
+# snapshots, and cmd/pcnn-bench diffs them against the committed
+# BENCH_*.json baselines under per-metric direction rules. BENCH_SLACK
+# multiplies every noise tolerance; CI uses 4 because one-iteration
+# runs on shared runners are noisy — the lane still catches order-of-
+# magnitude collapses and any nonzero error counter. Run with
+# BENCH_SLACK=1 locally for a tight pass.
+BENCH_SLACK ?= 4
+bench-gate:
+	BENCH_DETECT_OUT=/tmp/pcnn-bench-detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner)' -benchtime=1x -benchmem -run '^$$'
+	BENCH_SIM_OUT=/tmp/pcnn-bench-sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse)|BenchmarkRunNApprox' -benchtime=1x -benchmem -run '^$$' .
+	$(GO) run ./cmd/pcnn-bench -slack $(BENCH_SLACK) \
+		-baseline BENCH_detect.json -fresh /tmp/pcnn-bench-detect.json \
+		-baseline BENCH_sim.json -fresh /tmp/pcnn-bench-sim.json
 
 # fuzz smoke-runs each native fuzz target for FUZZTIME. go test allows
 # one -fuzz pattern per invocation, hence the two runs.

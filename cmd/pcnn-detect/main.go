@@ -98,6 +98,7 @@ func main() {
 		die(err)
 	}
 	sp = root.StartChild("detect.Detect")
+	det.Trace = sp // nest image -> level -> band spans for -trace-out
 	dets := det.Detect(img)
 	sp.End()
 	if n := det.DescriptorErrors(); n > 0 {

@@ -13,14 +13,21 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/explore"
+	"repro/internal/obs"
 )
+
+// tele carries the -metrics/-metrics-addr/-trace-out/-manifest flags.
+var tele obs.CLI
 
 func main() {
 	widths := flag.String("widths", "64,128,256", "comma-separated hidden widths")
 	windows := flag.String("windows", "32,8,1", "comma-separated spike windows")
 	samples := flag.Int("samples", 3000, "training samples per design")
 	epochs := flag.Int("epochs", 40, "training epochs per design")
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	tele.MustStart()
+	defer tele.MustFinish()
 
 	sp := explore.DefaultSpace()
 	sp.Samples = *samples
@@ -34,7 +41,9 @@ func main() {
 	}
 
 	fmt.Printf("exploring %d x %d parrot designs...\n", len(sp.Widths), len(sp.Windows))
+	span := obs.StartSpan("pcnn-explore.sweep")
 	designs, err := explore.Sweep(sp)
+	span.End()
 	if err != nil {
 		fail(err)
 	}
@@ -73,6 +82,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func fail(err error) {
+	_ = tele.Finish()
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -10,20 +10,37 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/napprox"
+	"repro/internal/obs"
 	"repro/internal/power"
 )
 
+// tele carries the -metrics/-metrics-addr/-trace-out/-manifest flags.
+var tele obs.CLI
+
+// fail reports err, flushes any requested telemetry output, and exits.
+func fail(err error) {
+	_ = tele.Finish()
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	mine := flag.Bool("measured", false, "size modules from this implementation's corelets instead of the paper's constants")
+	tele.Register(flag.CommandLine)
 	flag.Parse()
+	tele.MustStart()
+	defer tele.MustFinish()
+	root := obs.StartSpan("pcnn-power")
+	defer root.End()
 
 	napproxCores := power.NApproxCoresPerModule
 	parrotCores := power.ParrotCoresPerCell
 	if *mine {
+		sp := root.StartChild("napprox.BuildCellModule")
 		mod, err := napprox.BuildCellModule(napprox.TrueNorthConfig())
+		sp.End()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		napproxCores = mod.Cores()
 		fmt.Printf("measured NApprox corelet: %d cores (paper: %d)\n\n",
@@ -36,8 +53,7 @@ func main() {
 
 	rows, err := power.Table2With(napproxCores, parrotCores)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Approach\tSignal resolution\tPower estimation\tNote")
@@ -49,14 +65,12 @@ func main() {
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Approach, r.Resolution, p, r.Note)
 	}
 	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	lo, hi, err := power.PowerRatios()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("\nParrot vs NApprox power advantage: %.1fx (32-spike) to %.0fx (1-spike)\n", lo, hi)
 	fmt.Println("(paper abstract: 6.5x-208x)")

@@ -23,6 +23,10 @@ func TestMain(m *testing.M) {
 	}
 	code := m.Run()
 	if out != "" {
+		// Baselines are a metric comparison surface for pcnn-bench;
+		// the per-image span trees the instrumented scan now records
+		// would bloat them without adding comparable numbers.
+		obs.DropSpans()
 		if err := obs.WriteSnapshotFile(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if code == 0 {

@@ -108,6 +108,12 @@ type Detector struct {
 	Scorer    Scorer
 	Config    Config
 
+	// Trace, when set, anchors the scan's span tree (image -> pyramid
+	// level -> band) under an existing span, so a CLI's -trace-out
+	// shows detection nested in its run. Nil starts root spans
+	// instead; spans are only created while telemetry is enabled.
+	Trace *obs.Span
+
 	descErrors atomic.Uint64 // windows dropped: DescriptorInto failed
 	scratch    sync.Pool     // *scanState, reused across scans
 }

@@ -21,6 +21,7 @@
 package detect
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -102,8 +103,14 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 	levels := imgproc.Pyramid(img, cfg.ScaleFactor, winW, winH, cfg.MaxLevels)
 	measured := obs.Enabled()
 	var scanStart time.Time
+	var imgSpan *obs.Span
 	if measured {
 		scanStart = time.Now()
+		if d.Trace != nil {
+			imgSpan = d.Trace.StartChild("detect.image")
+		} else {
+			imgSpan = obs.StartSpan("detect.image")
+		}
 	}
 	for b := 0; b < workers; b++ {
 		st.ws[b].windows, st.ws[b].errs, st.ws[b].busy = 0, 0, 0
@@ -111,8 +118,10 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 	var out []Detection
 	for li, level := range levels {
 		var levelStart time.Time
+		var lvlSpan *obs.Span
 		if measured {
 			levelStart = time.Now()
+			lvlSpan = imgSpan.StartChild(fmt.Sprintf("level[%d]", li))
 		}
 		var levelBase uint64
 		for b := 0; b < workers; b++ {
@@ -121,6 +130,7 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 		scale := math.Pow(cfg.ScaleFactor, float64(li))
 		d.Extractor.GridInto(&st.grid, level)
 		if st.grid.CellsY < cfg.WindowCellsY || st.grid.CellsX < cfg.WindowCellsX {
+			lvlSpan.End()
 			continue
 		}
 		nRows := (st.grid.CellsY-cfg.WindowCellsY)/cfg.StrideCells + 1
@@ -131,14 +141,17 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 		if w <= 1 {
 			sc := &st.ws[0]
 			var bandStart time.Time
+			var bandSpan *obs.Span
 			if measured {
 				bandStart = time.Now()
+				bandSpan = lvlSpan.StartChild("band[0]")
 			}
 			d.scanBand(sc, &st.grid, 0, nRows, scale, winW, winH)
 			if measured {
+				bandSpan.End()
 				el := time.Since(bandStart)
 				sc.busy += el
-				obs.HistogramM("detect.band_ms").Observe(float64(el.Microseconds()) / 1000)
+				obs.BucketHistogramM("detect.band_ms", obs.LatencyMSBuckets).Observe(float64(el.Microseconds()) / 1000)
 			}
 			out = append(out, sc.dets...)
 		} else {
@@ -155,14 +168,17 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 				go func() {
 					defer wg.Done()
 					var bandStart time.Time
+					var bandSpan *obs.Span
 					if measured {
 						bandStart = time.Now()
+						bandSpan = lvlSpan.StartChild(fmt.Sprintf("band[%d]", b))
 					}
 					d.scanBand(sc, &st.grid, r0, r1, scale, winW, winH)
 					if measured {
+						bandSpan.End()
 						el := time.Since(bandStart)
 						sc.busy += el
-						obs.HistogramM("detect.band_ms").Observe(float64(el.Microseconds()) / 1000)
+						obs.BucketHistogramM("detect.band_ms", obs.LatencyMSBuckets).Observe(float64(el.Microseconds()) / 1000)
 					}
 				}()
 			}
@@ -174,13 +190,14 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 			}
 		}
 		if measured {
+			lvlSpan.End()
 			var lvlWindows uint64
 			for b := 0; b < workers; b++ {
 				lvlWindows += st.ws[b].windows
 			}
 			lvlWindows -= levelBase
 			obs.HistogramM("detect.level_windows").Observe(float64(lvlWindows))
-			obs.HistogramM("detect.level_ms").Observe(float64(time.Since(levelStart).Microseconds()) / 1000)
+			obs.BucketHistogramM("detect.level_ms", obs.LatencyMSBuckets).Observe(float64(time.Since(levelStart).Microseconds()) / 1000)
 		}
 	}
 	var totalWindows, totalErrs uint64
@@ -194,6 +211,7 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 		d.descErrors.Add(totalErrs)
 	}
 	if measured {
+		imgSpan.End()
 		obs.CounterM("detect.images").Inc()
 		obs.CounterM("detect.windows_scanned").Add(totalWindows)
 		obs.CounterM("detect.windows_above_threshold").Add(uint64(len(out)))

@@ -31,5 +31,5 @@ func obsEpochEnd(epoch int, loss float64, examples int, start time.Time) {
 	if secs := time.Since(start).Seconds(); secs > 0 {
 		obs.GaugeM("eedn.examples_per_sec").Set(float64(examples) / secs)
 	}
-	obs.HistogramM("eedn.epoch_ms").Observe(float64(time.Since(start).Microseconds()) / 1000)
+	obs.BucketHistogramM("eedn.epoch_ms", obs.LatencyMSBuckets).Observe(float64(time.Since(start).Microseconds()) / 1000)
 }

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketHistogramCumulative(t *testing.T) {
+	h := NewBucketHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 10, 25} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if s.Sum != 46.5 {
+		t.Fatalf("Sum = %v, want 46.5", s.Sum)
+	}
+	want := []BucketCount{{LE: 1, Count: 2}, {LE: 5, Count: 3}, {LE: 10, Count: 5}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %v, want %v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestBucketHistogramBoundSanitizing(t *testing.T) {
+	h := NewBucketHistogram([]float64{10, 1, 5, 5, math.NaN(), math.Inf(1), 1})
+	got := h.Bounds()
+	want := []float64{1, 5, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bounds = %v, want %v", got, want)
+		}
+	}
+	// Empty bounds fall back to a usable preset.
+	if b := NewBucketHistogram(nil).Bounds(); len(b) != len(LatencyMSBuckets) {
+		t.Errorf("nil bounds -> %d buckets, want LatencyMSBuckets (%d)", len(b), len(LatencyMSBuckets))
+	}
+}
+
+func TestBucketHistogramMerge(t *testing.T) {
+	a := NewBucketHistogram([]float64{1, 2})
+	b := NewBucketHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(3)
+	b.Observe(1.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	s := a.Summary()
+	if s.Count != 3 || s.Sum != 5 {
+		t.Errorf("after merge count=%d sum=%v, want 3, 5", s.Count, s.Sum)
+	}
+	if s.Buckets[0].Count != 1 || s.Buckets[1].Count != 2 {
+		t.Errorf("after merge buckets = %v", s.Buckets)
+	}
+	if err := a.Merge(NewBucketHistogram([]float64{1, 3})); err == nil {
+		t.Error("Merge with different bounds should fail")
+	}
+	if err := a.Merge(NewBucketHistogram([]float64{1})); err == nil {
+		t.Error("Merge with fewer bounds should fail")
+	}
+}
+
+func TestBucketHistogramQuantileMean(t *testing.T) {
+	h := NewBucketHistogram([]float64{10, 20, 30})
+	var empty BucketHistogramSummary
+	if !math.IsNaN(empty.Quantile(0.5)) || !math.IsNaN(empty.Mean()) {
+		t.Error("empty summary should report NaN quantile and mean")
+	}
+	for i := 0; i < 120; i++ {
+		h.Observe(float64(i%30) + 0.5) // uniform over (0, 30)
+	}
+	s := h.Summary()
+	if q := s.Quantile(0.5); math.Abs(q-15) > 2 {
+		t.Errorf("p50 = %v, want ~15", q)
+	}
+	if q := s.Quantile(0); q < 0 || q > 10 {
+		t.Errorf("p0 = %v, want within first bucket", q)
+	}
+	if q := s.Quantile(1); q != 30 {
+		t.Errorf("p100 = %v, want 30", q)
+	}
+	if m := s.Mean(); math.Abs(m-15) > 0.5 {
+		t.Errorf("mean = %v, want ~15", m)
+	}
+	// Mass beyond the last bound reports the largest finite bound.
+	h2 := NewBucketHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Summary().Quantile(0.99); q != 1 {
+		t.Errorf("overflow-bucket quantile = %v, want 1", q)
+	}
+}
+
+func TestBucketHistogramObserveAllocFree(t *testing.T) {
+	h := NewBucketHistogram(LatencyMSBuckets)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(3.7) })
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestBucketHistogramConcurrent(t *testing.T) {
+	h := NewBucketHistogram([]float64{10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 200))
+				_ = h.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != workers*per {
+		t.Errorf("Count = %d, want %d", s.Count, workers*per)
+	}
+	var wantSum float64
+	for i := 0; i < per; i++ {
+		wantSum += float64(i % 200)
+	}
+	wantSum *= workers
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %v, want %v (atomic adds must not lose updates)", s.Sum, wantSum)
+	}
+}
+
+func TestRegistryBucketHistogramGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.BucketHistogram("x", []float64{1, 2})
+	b := r.BucketHistogram("x", []float64{5, 6, 7}) // bounds of later calls are ignored
+	if a != b {
+		t.Fatal("same name should return the same histogram")
+	}
+	if got := b.Bounds(); len(got) != 2 || got[0] != 1 {
+		t.Errorf("bounds = %v, want first registration's {1,2}", got)
+	}
+	r.Reset()
+	if c := r.BucketHistogram("x", []float64{5}); c == a {
+		t.Error("Reset should drop bucket histograms")
+	}
+}
+
+func BenchmarkBucketHistogramObserve(b *testing.B) {
+	h := NewBucketHistogram(LatencyMSBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 10)
+	}
+}
+
+func BenchmarkBucketHistogramObserveParallel(b *testing.B) {
+	h := NewBucketHistogram(LatencyMSBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) / 10)
+			i++
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export: finished span trees serialized as the
+// JSON object format Perfetto (ui.perfetto.dev) and chrome://tracing
+// load directly, so parallel phases — band workers inside a detection
+// image, pipelined images in DetectStream — are inspected on a
+// timeline instead of in an indented text dump. `-trace-out file.json`
+// selects this format; any other extension keeps the text tree.
+//
+// Spans carry no goroutine identity (the span API nests explicitly),
+// so tracks are reconstructed from overlap: siblings that overlap in
+// time — which is exactly what concurrent band/image spans do — are
+// laid out on distinct track ids, while sequential siblings stay on
+// their parent's track and render as nested slices. Overflow tracks
+// are keyed by (depth, lane) and reused across the trace, so band
+// lane k of every pyramid level lands on the same track, which reads
+// as the per-worker timeline it in effect is.
+
+// traceEvent is one entry of the trace's "traceEvents" array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format (the array format loads too,
+// but the object form carries the display unit).
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// traceLayout assigns track ids. Lane 0 of any parent is the parent's
+// own track; overflow lanes allocate a fresh tid on first use of each
+// (depth, lane) pair and are reused afterwards.
+type traceLayout struct {
+	nextTID int
+	lanes   map[[2]int]int
+	events  []traceEvent
+}
+
+func (l *traceLayout) laneTID(depth, lane, parentTID int) int {
+	if lane == 0 {
+		return parentTID
+	}
+	key := [2]int{depth, lane}
+	if tid, ok := l.lanes[key]; ok {
+		return tid
+	}
+	l.nextTID++
+	l.lanes[key] = l.nextTID
+	return l.nextTID
+}
+
+// place emits s on tid and lays out its children one level deeper.
+func (l *traceLayout) place(s SpanSummary, tid, depth int) {
+	durUS := int64(s.Millis * 1000)
+	if durUS < 1 {
+		// Perfetto drops zero-duration complete events; clamp so every
+		// span stays visible.
+		durUS = 1
+	}
+	l.events = append(l.events, traceEvent{
+		Name: s.Name, Cat: "span", Ph: "X",
+		TS: s.StartUS, Dur: durUS, PID: tracePID, TID: tid,
+	})
+	l.layoutChildren(s.Children, tid, depth+1)
+}
+
+// layoutChildren lays spans out on lanes: sorted by start, each span
+// takes the lowest lane whose previous occupant has ended by the
+// span's start (interval partitioning), so only temporally
+// overlapping siblings spread to extra tracks. Lane 0 is the parent's
+// own track.
+func (l *traceLayout) layoutChildren(children []SpanSummary, parentTID, depth int) {
+	if len(children) == 0 {
+		return
+	}
+	sorted := append([]SpanSummary(nil), children...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].StartUS < sorted[j].StartUS })
+	type lane struct {
+		tid int
+		end int64
+	}
+	active := []lane{{tid: parentTID, end: -1 << 62}}
+	for _, c := range sorted {
+		cEnd := c.StartUS + int64(c.Millis*1000)
+		placed := false
+		for i := range active {
+			if active[i].end <= c.StartUS {
+				active[i].end = cEnd
+				l.place(c, active[i].tid, depth)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			t := l.laneTID(depth, len(active), parentTID)
+			active = append(active, lane{tid: t, end: cEnd})
+			l.place(c, t, depth)
+		}
+	}
+}
+
+// WriteChromeTrace writes the registry's finished spans as Chrome
+// trace-event JSON. Root spans are laid out with the same overlap
+// rule as children, so concurrent roots (pipelined images) get their
+// own tracks too.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	roots := r.Spans()
+	l := &traceLayout{nextTID: 0, lanes: map[[2]int]int{}}
+	// Roots share the lane logic with children: sequential roots stay
+	// on track 0, concurrent roots spread to overflow tracks.
+	l.layoutChildren(roots, 0, 0)
+	sort.SliceStable(l.events, func(i, j int) bool { return l.events[i].TS < l.events[j].TS })
+	// Name the tracks so Perfetto shows "lane d.k" instead of bare ids.
+	meta := []traceEvent{{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "pcnn"},
+	}, {
+		Name: "thread_name", Ph: "M", PID: tracePID, TID: 0,
+		Args: map[string]any{"name": "main"},
+	}}
+	for key, tid := range l.lanes {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": laneName(key)},
+		})
+	}
+	sort.SliceStable(meta, func(i, j int) bool { return meta[i].TID < meta[j].TID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, l.events...),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// laneName renders a (depth, lane) overflow-track key.
+func laneName(key [2]int) string {
+	return "lane " + strconv.Itoa(key[0]) + "." + strconv.Itoa(key[1])
+}
+
+// WriteChromeTrace writes the default registry's spans as Chrome
+// trace-event JSON.
+func WriteChromeTrace(w io.Writer) error { return std.WriteChromeTrace(w) }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// mkSpan builds a finished span with explicit offsets (in ms) from a
+// fixed epoch, so layout tests are deterministic.
+func mkSpan(name string, epoch time.Time, startMS, stopMS float64, children ...*Span) *Span {
+	s := &Span{
+		Name:  name,
+		Start: epoch.Add(time.Duration(startMS * float64(time.Millisecond))),
+		Stop:  epoch.Add(time.Duration(stopMS * float64(time.Millisecond))),
+	}
+	s.children = children
+	return s
+}
+
+// traceFor decodes the chrome trace written for the given roots.
+func traceFor(t *testing.T, roots ...*Span) chromeTrace {
+	t.Helper()
+	r := NewRegistry()
+	for _, s := range roots {
+		s.root = true
+		s.reg = r
+	}
+	r.spanMu.Lock()
+	r.spans = append(r.spans, roots...)
+	r.spanMu.Unlock()
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	return tr
+}
+
+func eventByName(tr chromeTrace, name string) (traceEvent, bool) {
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && e.Name == name {
+			return e, true
+		}
+	}
+	return traceEvent{}, false
+}
+
+func TestChromeTraceTrackAssignment(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	// image -> level[0] -> three bands: band[0] and band[1] overlap
+	// (parallel workers), band[2] starts after band[0] ends
+	// (sequential reuse of the freed lane).
+	lvl := mkSpan("level[0]", epoch, 1, 90,
+		mkSpan("band[0]", epoch, 2, 40),
+		mkSpan("band[1]", epoch, 3, 45),
+		mkSpan("band[2]", epoch, 41, 80),
+	)
+	img := mkSpan("detect.image", epoch, 0, 100, lvl)
+	tr := traceFor(t, img)
+
+	get := func(name string) traceEvent {
+		e, ok := eventByName(tr, name)
+		if !ok {
+			t.Fatalf("missing event %q", name)
+		}
+		return e
+	}
+	imgE, lvlE := get("detect.image"), get("level[0]")
+	b0, b1, b2 := get("band[0]"), get("band[1]"), get("band[2]")
+
+	if imgE.TID != 0 {
+		t.Errorf("root span on tid %d, want 0", imgE.TID)
+	}
+	if lvlE.TID != imgE.TID {
+		t.Errorf("sole child level on tid %d, want parent's %d", lvlE.TID, imgE.TID)
+	}
+	if b0.TID != lvlE.TID {
+		t.Errorf("first band on tid %d, want parent's %d (nested slice)", b0.TID, lvlE.TID)
+	}
+	if b1.TID == b0.TID {
+		t.Error("overlapping bands share a tid; concurrency is invisible in Perfetto")
+	}
+	if b2.TID != b0.TID {
+		t.Errorf("band[2] (starts after band[0] ends) on tid %d, want reused lane %d", b2.TID, b0.TID)
+	}
+	if b0.Dur != 38000 || b0.TS != 2000 {
+		t.Errorf("band[0] ts/dur = %d/%d us, want 2000/38000", b0.TS, b0.Dur)
+	}
+
+	// The overflow lane must be named for the Perfetto track list.
+	var namedTIDs []int
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			namedTIDs = append(namedTIDs, e.TID)
+		}
+	}
+	found := false
+	for _, tid := range namedTIDs {
+		if tid == b1.TID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("overflow tid %d has no thread_name metadata (named: %v)", b1.TID, namedTIDs)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tr.DisplayTimeUnit)
+	}
+}
+
+func TestChromeTraceLaneReuseAcrossLevels(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	// Two sequential levels, each with two overlapping bands: the
+	// overflow lane (depth, lane=1) must map to the same tid in both
+	// levels, reading as one per-worker track.
+	lvl0 := mkSpan("level[0]", epoch, 0, 50,
+		mkSpan("band[0]", epoch, 1, 40), mkSpan("band[1]", epoch, 2, 41))
+	lvl1 := mkSpan("level[1]", epoch, 51, 100,
+		mkSpan("band[0]", epoch, 52, 90), mkSpan("band[1]", epoch, 53, 91))
+	img := mkSpan("detect.image", epoch, 0, 101, lvl0, lvl1)
+	tr := traceFor(t, img)
+
+	tidsByLevel := map[int64]int{} // band[1] start -> tid
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" && e.Name == "band[1]" {
+			tidsByLevel[e.TS] = e.TID
+		}
+	}
+	if len(tidsByLevel) != 2 {
+		t.Fatalf("want 2 band[1] events, got %v", tidsByLevel)
+	}
+	if tidsByLevel[2000] != tidsByLevel[53000] {
+		t.Errorf("band lane 1 got different tids across levels: %v", tidsByLevel)
+	}
+}
+
+func TestChromeTraceZeroDurationClamped(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	tr := traceFor(t, mkSpan("instant", epoch, 5, 5))
+	e, ok := eventByName(tr, "instant")
+	if !ok {
+		t.Fatal("missing event")
+	}
+	if e.Dur < 1 {
+		t.Errorf("zero-duration span exported dur=%d; Perfetto drops it", e.Dur)
+	}
+}
+
+func TestChromeTraceEmptyRegistry(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewRegistry().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+}

@@ -4,46 +4,98 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // CLI bundles the telemetry flags every pcnn command exposes, so the
-// four mains wire the layer identically:
+// mains wire the layer identically:
 //
 //	var tele obs.CLI
 //	tele.Register(flag.CommandLine)
 //	flag.Parse()
 //	defer tele.MustFinish()
 //	tele.MustStart()
+//
+// Passing any of the flags implies Enable(): -metrics-addr or
+// -trace-out without -metrics still turns collection on, and Start
+// fails fast (before the workload runs) when a requested output path
+// is not writable, instead of discovering it at exit.
 type CLI struct {
 	// Metrics is the -metrics path; a final registry snapshot is
 	// written there (.csv selects CSV, otherwise JSON).
 	Metrics string
 	// MetricsAddr is the -metrics-addr listen address for the live
-	// metrics + pprof HTTP endpoint.
+	// metrics + pprof HTTP endpoint (/metrics is Prometheus text).
 	MetricsAddr string
-	// TraceOut is the -trace-out path for the span-tree timing trace.
+	// TraceOut is the -trace-out path for the span timing trace: a
+	// .json extension selects Chrome trace-event JSON (loadable in
+	// Perfetto / chrome://tracing), anything else the text tree.
 	TraceOut string
+	// Manifest is the -manifest path for the run manifest. Empty
+	// writes it next to the -metrics (or -trace-out) file as
+	// <output>.manifest.json; "off" disables it.
+	Manifest string
+	// Tool names the command in the manifest; defaults to the
+	// invoked binary's base name.
+	Tool string
 
+	fs       *flag.FlagSet
 	shutdown func()
 }
 
-// Register installs -metrics, -metrics-addr and -trace-out on fs.
+// Register installs -metrics, -metrics-addr, -trace-out and -manifest
+// on fs.
 func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Metrics, "metrics", "", "write a telemetry snapshot to this file on exit (.json or .csv)")
-	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live metrics and pprof on this address (e.g. :6060)")
-	fs.StringVar(&c.TraceOut, "trace-out", "", "write the span timing trace to this file on exit")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live metrics (Prometheus text at /metrics) and pprof on this address (e.g. :6060)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write the span timing trace to this file on exit (.json = Chrome trace-event format for Perfetto, otherwise text tree)")
+	fs.StringVar(&c.Manifest, "manifest", "", "write the run manifest to this file ('' = next to the -metrics/-trace-out output, 'off' = disable)")
+	c.fs = fs
 }
 
 // Active reports whether any telemetry flag was set.
 func (c *CLI) Active() bool {
-	return c.Metrics != "" || c.MetricsAddr != "" || c.TraceOut != ""
+	return c.Metrics != "" || c.MetricsAddr != "" || c.TraceOut != "" || c.manifestRequested()
 }
 
-// Start enables collection when any flag was given and starts the
-// HTTP endpoint when -metrics-addr was set.
+// manifestRequested reports whether -manifest names an explicit path.
+func (c *CLI) manifestRequested() bool {
+	return c.Manifest != "" && c.Manifest != "off"
+}
+
+// manifestPath resolves where the manifest goes, or "" for nowhere.
+func (c *CLI) manifestPath() string {
+	switch {
+	case c.Manifest == "off":
+		return ""
+	case c.Manifest != "":
+		return c.Manifest
+	case c.Metrics != "":
+		return c.Metrics + ".manifest.json"
+	case c.TraceOut != "":
+		return c.TraceOut + ".manifest.json"
+	}
+	return ""
+}
+
+// Start enables collection when any flag was given, verifies every
+// requested output path is writable, and starts the HTTP endpoint
+// when -metrics-addr was set.
 func (c *CLI) Start() error {
 	if !c.Active() {
 		return nil
+	}
+	for _, path := range []string{c.Metrics, c.TraceOut, c.manifestPath()} {
+		if path == "" {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("obs: output %s not writable: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: output %s: %w", path, err)
+		}
 	}
 	Enable()
 	if c.MetricsAddr != "" {
@@ -57,8 +109,8 @@ func (c *CLI) Start() error {
 	return nil
 }
 
-// Finish writes the snapshot and trace files requested by the flags
-// and stops the HTTP endpoint.
+// Finish writes the snapshot, trace, and run manifest requested by
+// the flags and stops the HTTP endpoint.
 func (c *CLI) Finish() error {
 	if c.shutdown != nil {
 		c.shutdown()
@@ -70,19 +122,56 @@ func (c *CLI) Finish() error {
 		}
 	}
 	if c.TraceOut != "" {
-		f, err := os.Create(c.TraceOut)
-		if err != nil {
+		if err := c.writeTrace(); err != nil {
 			return err
 		}
-		if err := std.WriteSpanTree(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+	}
+	if path := c.manifestPath(); path != "" {
+		if err := c.writeManifest(path); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeTrace writes the span trace in the extension-selected format.
+func (c *CLI) writeTrace() error {
+	f, err := os.Create(c.TraceOut)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(c.TraceOut) == ".json" {
+		err = std.WriteChromeTrace(f)
+	} else {
+		err = std.WriteSpanTree(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeManifest records the invocation and hashes the run's outputs.
+func (c *CLI) writeManifest(path string) error {
+	tool := c.Tool
+	if tool == "" && len(os.Args) > 0 {
+		tool = filepath.Base(os.Args[0])
+	}
+	var args []string
+	if len(os.Args) > 1 {
+		args = os.Args[1:]
+	}
+	m := NewManifest(tool, args, c.fs)
+	for _, out := range []string{c.Metrics, c.TraceOut} {
+		if out == "" {
+			continue
+		}
+		if err := m.AddOutput(out); err != nil {
+			return err
+		}
+	}
+	return m.Write(path)
 }
 
 // MustStart is Start, exiting the process on error.

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// withCleanState snapshots the enabled flag and default registry
+// around CLI tests, which mutate both.
+func withCleanState(t *testing.T, fn func()) {
+	t.Helper()
+	prev := Enabled()
+	std.Reset()
+	defer func() {
+		std.Reset()
+		if prev {
+			Enable()
+		} else {
+			Disable()
+		}
+	}()
+	fn()
+}
+
+func TestCLITraceOutAloneImpliesEnable(t *testing.T) {
+	withCleanState(t, func() {
+		Disable()
+		out := filepath.Join(t.TempDir(), "trace.txt")
+		c := CLI{TraceOut: out}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if !Enabled() {
+			t.Fatal("-trace-out alone must imply Enable(); spans would silently be no-ops")
+		}
+		s := StartSpan("work")
+		s.End()
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), "work") {
+			t.Errorf("trace file missing recorded span:\n%s", b)
+		}
+	})
+}
+
+func TestCLITraceOutJSONSelectsChromeFormat(t *testing.T) {
+	withCleanState(t, func() {
+		out := filepath.Join(t.TempDir(), "trace.json")
+		c := CLI{TraceOut: out}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		s := StartSpan("work")
+		s.StartChild("inner").End()
+		s.End()
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), "traceEvents") {
+			t.Errorf(".json trace is not Chrome trace-event format:\n%s", b)
+		}
+	})
+}
+
+func TestCLIStartFailsFastOnUnwritablePath(t *testing.T) {
+	withCleanState(t, func() {
+		c := CLI{Metrics: filepath.Join(t.TempDir(), "no-such-dir", "m.json")}
+		err := c.Start()
+		if err == nil {
+			t.Fatal("Start must fail before the workload when the output path is unwritable")
+		}
+		if !strings.Contains(err.Error(), "not writable") {
+			t.Errorf("error %q should name the unwritable path problem", err)
+		}
+	})
+}
+
+func TestCLIManifestWrittenNextToMetrics(t *testing.T) {
+	withCleanState(t, func() {
+		dir := t.TempDir()
+		metrics := filepath.Join(dir, "metrics.json")
+		fs := flag.NewFlagSet("pcnn-test", flag.ContinueOnError)
+		var c CLI
+		c.Register(fs)
+		if err := fs.Parse([]string{"-metrics", metrics}); err != nil {
+			t.Fatal(err)
+		}
+		c.Tool = "pcnn-test"
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		CounterM("cli.test").Inc()
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadManifest(metrics + ".manifest.json")
+		if err != nil {
+			t.Fatalf("manifest not written next to -metrics: %v", err)
+		}
+		if m.Tool != "pcnn-test" {
+			t.Errorf("Tool = %q", m.Tool)
+		}
+		if len(m.Outputs) != 1 || m.Outputs[0].Path != metrics {
+			t.Fatalf("Outputs = %+v, want the metrics snapshot", m.Outputs)
+		}
+		raw, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Outputs[0].Bytes != int64(len(raw)) {
+			t.Errorf("manifest hashed %d bytes, file has %d — hash must cover the final snapshot", m.Outputs[0].Bytes, len(raw))
+		}
+		if _, ok := m.Flags["metrics"]; !ok {
+			t.Errorf("manifest flags missing registered telemetry flags: %v", m.Flags)
+		}
+	})
+}
+
+func TestCLIManifestOff(t *testing.T) {
+	withCleanState(t, func() {
+		dir := t.TempDir()
+		metrics := filepath.Join(dir, "metrics.json")
+		c := CLI{Metrics: metrics, Manifest: "off"}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(metrics + ".manifest.json"); !os.IsNotExist(err) {
+			t.Errorf("-manifest off still produced a manifest (err=%v)", err)
+		}
+	})
+}
+
+func TestCLIInactiveIsNoop(t *testing.T) {
+	withCleanState(t, func() {
+		Disable()
+		var c CLI
+		if c.Active() {
+			t.Error("zero CLI should be inactive")
+		}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if Enabled() {
+			t.Error("Start without flags must not enable telemetry")
+		}
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

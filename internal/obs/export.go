@@ -16,12 +16,13 @@ import (
 // through JSON, which is what -metrics files and the HTTP /metrics
 // endpoint carry.
 type Snapshot struct {
-	TakenAt    string                      `json:"taken_at"`
-	Counters   map[string]uint64           `json:"counters"`
-	Gauges     map[string]float64          `json:"gauges"`
-	Histograms map[string]HistogramSummary `json:"histograms"`
-	Series     map[string][]SeriesPoint    `json:"series"`
-	Spans      []SpanSummary               `json:"spans,omitempty"`
+	TakenAt          string                            `json:"taken_at"`
+	Counters         map[string]uint64                 `json:"counters"`
+	Gauges           map[string]float64                `json:"gauges"`
+	Histograms       map[string]HistogramSummary       `json:"histograms"`
+	BucketHistograms map[string]BucketHistogramSummary `json:"bucket_histograms,omitempty"`
+	Series           map[string][]SeriesPoint          `json:"series"`
+	Spans            []SpanSummary                     `json:"spans,omitempty"`
 }
 
 // HistogramSummary is the export form of a Histogram.
@@ -38,11 +39,12 @@ type HistogramSummary struct {
 // Snapshot captures the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
-		TakenAt:    time.Now().UTC().Format(time.RFC3339),
-		Counters:   map[string]uint64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSummary{},
-		Series:     map[string][]SeriesPoint{},
+		TakenAt:          time.Now().UTC().Format(time.RFC3339),
+		Counters:         map[string]uint64{},
+		Gauges:           map[string]float64{},
+		Histograms:       map[string]HistogramSummary{},
+		BucketHistograms: map[string]BucketHistogramSummary{},
+		Series:           map[string][]SeriesPoint{},
 	}
 	r.mu.RLock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -57,6 +59,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.histograms {
 		hists[k] = v
 	}
+	bucketHists := make(map[string]*BucketHistogram, len(r.bucketHists))
+	for k, v := range r.bucketHists {
+		bucketHists[k] = v
+	}
 	series := make(map[string]*Series, len(r.series))
 	for k, v := range r.series {
 		series[k] = v
@@ -70,6 +76,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, h := range hists {
 		snap.Histograms[k] = h.summary()
+	}
+	for k, h := range bucketHists {
+		snap.BucketHistograms[k] = h.summary()
 	}
 	for k, s := range series {
 		snap.Series[k] = s.Points()
@@ -127,6 +136,20 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 			{"p99", fmtFloat(h.P99)},
 		} {
 			if err := cw.Write([]string{"histogram", k, f.field, f.value}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range sortedKeys(snap.BucketHistograms) {
+		h := snap.BucketHistograms[k]
+		if err := cw.Write([]string{"bucket_histogram", k, "count", strconv.FormatUint(h.Count, 10)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"bucket_histogram", k, "sum", fmtFloat(h.Sum)}); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if err := cw.Write([]string{"bucket_histogram", k, "le=" + fmtFloat(b.LE), strconv.FormatUint(b.Count, 10)}); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Run manifests make every BENCH/EXPERIMENTS artifact reproducible
+// from the artifact itself: each obs.CLI-wired command writes a
+// <metrics>.manifest.json next to its metrics output recording the
+// exact invocation (every flag value, which were explicitly set), the
+// toolchain and host shape (go version, GOOS/GOARCH, GOMAXPROCS,
+// NumCPU), the build's VCS identity, and a SHA-256 of each produced
+// output file — so "which commit, which flags, which machine produced
+// this number?" has a machine-readable answer.
+
+// ManifestOutput records one file the run produced.
+type ManifestOutput struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// Manifest is the run-manifest schema, documented in the README
+// ("Telemetry & profiling"). Fields are stable: additions are
+// backwards compatible, removals are not made.
+type Manifest struct {
+	// Tool is the command that ran (pcnn-detect, pcnn-eval, ...).
+	Tool string `json:"tool"`
+	// Args is the raw command line after the program name.
+	Args []string `json:"args"`
+	// Flags maps every registered flag to its effective value,
+	// defaulted or not; SetFlags lists the ones explicitly set.
+	Flags    map[string]string `json:"flags"`
+	SetFlags []string          `json:"set_flags"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	// Module/VCS identity from debug.ReadBuildInfo; empty outside a
+	// VCS-stamped build (e.g. under `go test`).
+	ModulePath  string `json:"module_path,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+
+	// Outputs are the artifacts this run wrote (metrics snapshot,
+	// trace), each with a content hash.
+	Outputs []ManifestOutput `json:"outputs"`
+
+	// FinishedAt is the manifest write time, RFC3339 UTC.
+	FinishedAt string `json:"finished_at"`
+}
+
+// NewManifest captures the invocation and environment for tool. fs
+// may be nil when the caller has no flag set; args is typically
+// os.Args[1:].
+func NewManifest(tool string, args []string, fs *flag.FlagSet) Manifest {
+	bi := buildInfo()
+	m := Manifest{
+		Tool:        tool,
+		Args:        append([]string(nil), args...),
+		Flags:       map[string]string{},
+		GoVersion:   bi.GoVersion,
+		GOOS:        bi.GOOS,
+		GOARCH:      bi.GOARCH,
+		GOMAXPROCS:  bi.GOMAXPROCS,
+		NumCPU:      runtime.NumCPU(),
+		ModulePath:  bi.ModulePath,
+		VCSRevision: bi.VCSRevision,
+		VCSTime:     bi.VCSTime,
+		VCSModified: bi.VCSModified,
+	}
+	if fs != nil {
+		fs.VisitAll(func(f *flag.Flag) { m.Flags[f.Name] = f.Value.String() })
+		fs.Visit(func(f *flag.Flag) { m.SetFlags = append(m.SetFlags, f.Name) })
+		sort.Strings(m.SetFlags)
+	}
+	return m
+}
+
+// AddOutput hashes the file at path and records it as a run artifact.
+func (m *Manifest) AddOutput(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("obs: manifest output %s: %w", path, err)
+	}
+	sum := sha256.Sum256(b)
+	m.Outputs = append(m.Outputs, ManifestOutput{
+		Path:   path,
+		SHA256: hex.EncodeToString(sum[:]),
+		Bytes:  int64(len(b)),
+	})
+	return nil
+}
+
+// Write stamps FinishedAt and writes the manifest as indented JSON.
+func (m *Manifest) Write(path string) error {
+	m.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadManifest parses a manifest file, the inverse of Write.
+func ReadManifest(path string) (Manifest, error) {
+	var m Manifest
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	err = json.Unmarshal(b, &m)
+	return m, err
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestManifestCapturesFlags(t *testing.T) {
+	fs := flag.NewFlagSet("pcnn-test", flag.ContinueOnError)
+	fs.String("model", "default.json", "")
+	fs.Int("workers", 1, "")
+	fs.Bool("verbose", false, "")
+	if err := fs.Parse([]string{"-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("pcnn-test", []string{"-workers", "4"}, fs)
+	if m.Tool != "pcnn-test" {
+		t.Errorf("Tool = %q", m.Tool)
+	}
+	if m.Flags["workers"] != "4" || m.Flags["model"] != "default.json" || m.Flags["verbose"] != "false" {
+		t.Errorf("Flags = %v, want all registered flags with effective values", m.Flags)
+	}
+	if len(m.SetFlags) != 1 || m.SetFlags[0] != "workers" {
+		t.Errorf("SetFlags = %v, want [workers]", m.SetFlags)
+	}
+	if m.GoVersion == "" || m.GOOS != runtime.GOOS || m.GOARCH != runtime.GOARCH {
+		t.Errorf("environment fields missing: %+v", m)
+	}
+	if m.GOMAXPROCS != runtime.GOMAXPROCS(0) || m.NumCPU != runtime.NumCPU() {
+		t.Errorf("GOMAXPROCS/NumCPU = %d/%d", m.GOMAXPROCS, m.NumCPU)
+	}
+}
+
+func TestManifestNilFlagSet(t *testing.T) {
+	m := NewManifest("bare", nil, nil)
+	if len(m.Flags) != 0 || len(m.SetFlags) != 0 {
+		t.Errorf("nil flag set should yield empty flag maps: %+v", m)
+	}
+}
+
+func TestManifestOutputsAndRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "metrics.json")
+	content := []byte(`{"counters":{}}` + "\n")
+	if err := os.WriteFile(out, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("pcnn-test", nil, nil)
+	if err := m.AddOutput(out); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(content)
+	if got := m.Outputs[0]; got.SHA256 != hex.EncodeToString(sum[:]) || got.Bytes != int64(len(content)) {
+		t.Errorf("output record = %+v, want sha %s, %d bytes", got, hex.EncodeToString(sum[:]), len(content))
+	}
+	if err := m.AddOutput(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("AddOutput of a missing file should fail")
+	}
+
+	path := filepath.Join(dir, "run.manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != m.Tool || len(got.Outputs) != 1 || got.Outputs[0].SHA256 != m.Outputs[0].SHA256 {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	if _, err := time.Parse(time.RFC3339, got.FinishedAt); err != nil {
+		t.Errorf("FinishedAt %q is not RFC3339: %v", got.FinishedAt, err)
+	}
+}

@@ -83,6 +83,11 @@ type Histogram struct {
 	// histogramCap; a fixed-seed linear congruential generator keeps
 	// snapshots deterministic for a deterministic observation stream.
 	lcg uint64
+	// sortedBuf caches the sorted view of samples so repeated quantile
+	// reads (three per snapshot, one snapshot per scrape) sort at most
+	// once per write; Observe invalidates it.
+	sortedBuf []float64
+	sortedOK  bool
 }
 
 // Observe records one sample.
@@ -97,6 +102,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	h.sortedOK = false
 	if len(h.samples) < histogramCap {
 		h.samples = append(h.samples, v)
 		return
@@ -130,11 +136,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return quantile(h.sorted(), q)
 }
 
-// sorted returns a sorted copy of the retained samples. Callers hold mu.
+// sorted returns the cached sorted view of the retained samples,
+// rebuilding it only when an Observe has landed since the last read.
+// The returned slice is owned by the histogram and only valid while
+// mu is held. Callers hold mu.
 func (h *Histogram) sorted() []float64 {
-	s := append([]float64(nil), h.samples...)
-	sort.Float64s(s)
-	return s
+	if !h.sortedOK {
+		h.sortedBuf = append(h.sortedBuf[:0], h.samples...)
+		sort.Float64s(h.sortedBuf)
+		h.sortedOK = true
+	}
+	return h.sortedBuf
 }
 
 // summary captures the histogram for a snapshot. Callers hold no lock.
@@ -211,11 +223,12 @@ func (s *Series) Len() int {
 // and updates are lock-free (counters, gauges) or per-metric locked
 // (histograms, series).
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	series     map[string]*Series
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
+	bucketHists map[string]*BucketHistogram
+	series      map[string]*Series
 
 	spanMu sync.Mutex
 	spans  []*Span
@@ -224,10 +237,11 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
-		series:     map[string]*Series{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		histograms:  map[string]*Histogram{},
+		bucketHists: map[string]*BucketHistogram{},
+		series:      map[string]*Series{},
 	}
 }
 
@@ -290,6 +304,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// BucketHistogram returns the named fixed-bucket histogram, creating
+// it with the given bucket upper bounds on first use. Later calls
+// return the existing histogram regardless of the bounds argument, so
+// a metric's buckets are fixed by whichever site reaches it first —
+// use one preset per metric name (the package-level *Buckets vars).
+func (r *Registry) BucketHistogram(name string, bounds []float64) *BucketHistogram {
+	r.mu.RLock()
+	h := r.bucketHists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.bucketHists[name]; h == nil {
+		h = NewBucketHistogram(bounds)
+		r.bucketHists[name] = h
+	}
+	return h
+}
+
 // Series returns the named series, creating it on first use.
 func (r *Registry) Series(name string) *Series {
 	r.mu.RLock()
@@ -315,6 +350,7 @@ func (r *Registry) Reset() {
 	r.counters = map[string]*Counter{}
 	r.gauges = map[string]*Gauge{}
 	r.histograms = map[string]*Histogram{}
+	r.bucketHists = map[string]*BucketHistogram{}
 	r.series = map[string]*Series{}
 	r.mu.Unlock()
 	r.spanMu.Lock()
@@ -337,6 +373,12 @@ func GaugeM(name string) *Gauge { return std.Gauge(name) }
 
 // HistogramM returns the named histogram from the default registry.
 func HistogramM(name string) *Histogram { return std.Histogram(name) }
+
+// BucketHistogramM returns the named fixed-bucket histogram from the
+// default registry, creating it with bounds on first use.
+func BucketHistogramM(name string, bounds []float64) *BucketHistogram {
+	return std.BucketHistogram(name, bounds)
+}
 
 // SeriesM returns the named series from the default registry.
 func SeriesM(name string) *Series { return std.Series(name) }

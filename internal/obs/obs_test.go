@@ -305,11 +305,23 @@ func TestHTTPEndpoint(t *testing.T) {
 		}
 		return string(body)
 	}
-	if body := get("/metrics"); !strings.Contains(body, `"served": 9`) {
-		t.Errorf("/metrics missing counter: %s", body)
+	if body := get("/metrics"); !strings.Contains(body, "# TYPE served counter\nserved 9\n") {
+		t.Errorf("/metrics missing Prometheus counter: %s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, `"served": 9`) {
+		t.Errorf("/metrics.json missing counter: %s", body)
 	}
 	if body := get("/metrics.csv"); !strings.Contains(body, "counter,served,value,9") {
 		t.Errorf("/metrics.csv missing counter: %s", body)
+	}
+	if body := get("/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+	if body := get("/buildinfo"); !strings.Contains(body, `"go_version"`) {
+		t.Errorf("/buildinfo missing go_version: %s", body)
+	}
+	if body := get("/trace.json"); !strings.Contains(body, "traceEvents") {
+		t.Errorf("/trace.json missing traceEvents: %s", body)
 	}
 	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
 		t.Errorf("/debug/pprof/cmdline empty")
@@ -380,8 +392,10 @@ func TestConcurrentRegistryAccess(t *testing.T) {
 		if got := r.Series("shared.series").Len(); got != workers*iters {
 			t.Fatalf("series len = %d, want %d", got, workers*iters)
 		}
-		if got := len(r.Spans()); got != workers*iters {
-			t.Fatalf("spans = %d, want %d", got, workers*iters)
+		// Root spans are flight-recorder bounded: the most recent
+		// spanRetention of the workers*iters roots survive.
+		if got := len(r.Spans()); got != spanRetention {
+			t.Fatalf("spans = %d, want %d (retention cap)", got, spanRetention)
 		}
 	})
 }
@@ -404,5 +418,59 @@ func BenchmarkEnabledCounterAdd(b *testing.B) {
 	c := NewRegistry().Counter("bench.enabled")
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+// TestHistogramQuantileCacheInvalidation guards the sorted-view cache:
+// a Quantile after new Observes must reflect the new samples, not a
+// stale sorted buffer.
+func TestHistogramQuantileCacheInvalidation(t *testing.T) {
+	h := NewRegistry().Histogram("cache")
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("max = %v, want 10", got)
+	}
+	h.Observe(100)
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("max after new observation = %v, want 100 (stale sort cache?)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+}
+
+// BenchmarkHistogramQuantileWarm is the satellite-1 receipt: repeated
+// Quantile calls on an unchanged reservoir hit the cached sorted view
+// instead of re-sorting 4096 samples per call. Compare against
+// BenchmarkHistogramQuantileCold, which invalidates between calls.
+func BenchmarkHistogramQuantileWarm(b *testing.B) {
+	h := NewRegistry().Histogram("bench.quantile")
+	for i := 0; i < 4096; i++ {
+		h.Observe(float64(i * 2654435761 % 9973))
+	}
+	h.Quantile(0.5) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.5)
+		h.Quantile(0.9)
+		h.Quantile(0.99)
+	}
+}
+
+// BenchmarkHistogramQuantileCold re-observes before each read, forcing
+// the re-sort every call — the pre-cache behavior for every call.
+func BenchmarkHistogramQuantileCold(b *testing.B) {
+	h := NewRegistry().Histogram("bench.quantile")
+	for i := 0; i < 4096; i++ {
+		h.Observe(float64(i * 2654435761 % 9973))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+		h.Quantile(0.5)
+		h.Quantile(0.9)
+		h.Quantile(0.99)
 	}
 }

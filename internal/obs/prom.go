@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), the scrape
+// surface `GET /metrics` serves and the contract pcnn-serve's SLO
+// dashboards will build on. Mapping from the registry:
+//
+//   - Counter  -> counter
+//   - Gauge    -> gauge
+//   - BucketHistogram -> histogram (`_bucket{le=...}` cumulative
+//     finite buckets plus `+Inf`, `_sum`, `_count`)
+//   - Histogram (reservoir) -> summary (p50/p90/p99 quantile labels,
+//     `_sum`, `_count`); reservoir quantiles are per-process
+//     estimates, not mergeable — prefer BucketHistogram for anything
+//     a dashboard aggregates.
+//   - Series are not exposed: an unbounded (step, value) log is not
+//     scrape-safe. They remain in the JSON/CSV snapshot exports.
+//
+// Metric names map dots to underscores (detect.band_ms ->
+// detect_band_ms); ordering is lexical per kind, so output is stable
+// for golden tests and scrape diffing.
+
+// promName sanitizes a registry metric name into the Prometheus
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelEscape escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func promLabelEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a sample value. Prometheus accepts NaN/Inf
+// spellings as produced by strconv for float64.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes the registry's metrics in Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	buckets := make(map[string]*BucketHistogram, len(r.bucketHists))
+	for k, v := range r.bucketHists {
+		buckets[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, k := range sortedKeys(counters) {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[k].Value())
+	}
+	for _, k := range sortedKeys(gauges) {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(gauges[k].Value()))
+	}
+	for _, k := range sortedKeys(buckets) {
+		n := promName(k)
+		s := buckets[k].Summary()
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		for _, bc := range s.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, promFloat(bc.LE), bc.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, s.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(s.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, s.Count)
+	}
+	for _, k := range sortedKeys(hists) {
+		n := promName(k)
+		s := hists[k].summary()
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		if s.Count > 0 {
+			for _, q := range []struct {
+				label string
+				v     float64
+			}{{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}} {
+				fmt.Fprintf(&b, "%s{quantile=\"%s\"} %s\n", n, promLabelEscape(q.label), promFloat(q.v))
+			}
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(s.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, s.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus writes the default registry in exposition format.
+func WritePrometheus(w io.Writer) error { return std.WritePrometheus(w) }

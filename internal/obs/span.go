@@ -52,8 +52,15 @@ func (s *Span) StartChild(name string) *Span {
 	return child
 }
 
+// spanRetention bounds the finished root spans a registry keeps:
+// flight-recorder style, the most recent spanRetention roots survive
+// and older ones are dropped, so span-per-image workloads (detection
+// sweeps, benchmark loops) cannot grow the registry without bound.
+const spanRetention = 512
+
 // End closes the span. Ending a root span records it (and its
-// finished subtree) on the registry for snapshot export.
+// finished subtree) on the registry for snapshot export; only the
+// most recent spanRetention roots are retained.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -61,6 +68,10 @@ func (s *Span) End() {
 	s.Stop = time.Now()
 	if s.root && s.reg != nil {
 		s.reg.spanMu.Lock()
+		if len(s.reg.spans) >= spanRetention {
+			n := copy(s.reg.spans, s.reg.spans[len(s.reg.spans)-spanRetention+1:])
+			s.reg.spans = s.reg.spans[:n]
+		}
 		s.reg.spans = append(s.reg.spans, s)
 		s.reg.spanMu.Unlock()
 	}
@@ -131,6 +142,19 @@ func (r *Registry) Spans() []SpanSummary {
 	}
 	return out
 }
+
+// DropSpans discards the registry's finished root spans, keeping all
+// metrics. Benchmark harnesses call it before writing BENCH_*.json so
+// baselines stay metric-only; traces are a per-run artifact, not a
+// comparison surface.
+func (r *Registry) DropSpans() {
+	r.spanMu.Lock()
+	r.spans = nil
+	r.spanMu.Unlock()
+}
+
+// DropSpans discards the default registry's finished root spans.
+func DropSpans() { std.DropSpans() }
 
 // WriteSpanTree renders the registry's finished spans as an indented
 // text tree with millisecond durations, the -trace-out format.

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestSpanRetentionBounded proves span-per-image workloads cannot
+// grow the registry without bound: only the most recent
+// spanRetention roots survive.
+func TestSpanRetentionBounded(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		total := spanRetention + 100
+		for i := 0; i < total; i++ {
+			s := r.StartSpan("img")
+			s.End()
+		}
+		got := r.Spans()
+		if len(got) != spanRetention {
+			t.Fatalf("retained %d roots, want %d", len(got), spanRetention)
+		}
+		// DropSpans clears traces but not metrics.
+		r.Counter("kept").Inc()
+		r.DropSpans()
+		if len(r.Spans()) != 0 {
+			t.Error("DropSpans left spans behind")
+		}
+		if r.Counter("kept").Value() != 1 {
+			t.Error("DropSpans touched metrics")
+		}
+	})
+}
+
+// TestConcurrentSpanTreeSnapshot hammers one span tree from many
+// goroutines — the band-worker shape: one image root, per-level
+// children, per-band grandchildren ended concurrently — while other
+// goroutines snapshot, export, and scrape the registry. Run under
+// -race this is the proof the trace layer is safe in the parallel
+// detection engine.
+func TestConcurrentSpanTreeSnapshot(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		const images, levels, bands = 4, 3, 8
+		var writers, readers sync.WaitGroup
+		stop := make(chan struct{})
+		// Readers: snapshot + exporters racing the writers.
+		for i := 0; i < 3; i++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = r.Snapshot()
+					var b bytes.Buffer
+					_ = r.WritePrometheus(&b)
+					b.Reset()
+					_ = r.WriteChromeTrace(&b)
+				}
+			}()
+		}
+		for img := 0; img < images; img++ {
+			writers.Add(1)
+			go func() {
+				defer writers.Done()
+				root := r.StartSpan("detect.image")
+				for lv := 0; lv < levels; lv++ {
+					lvl := root.StartChild("level")
+					var bw sync.WaitGroup
+					for b := 0; b < bands; b++ {
+						bw.Add(1)
+						go func() {
+							defer bw.Done()
+							s := lvl.StartChild("band")
+							r.BucketHistogram("race.band_ms", LatencyMSBuckets).Observe(0.1)
+							s.End()
+						}()
+					}
+					bw.Wait()
+					lvl.End()
+				}
+				root.End()
+			}()
+		}
+		writers.Wait()
+		close(stop)
+		readers.Wait()
+
+		spans := r.Spans()
+		if len(spans) != images {
+			t.Fatalf("got %d root spans, want %d", len(spans), images)
+		}
+		for _, s := range spans {
+			if len(s.Children) != levels {
+				t.Fatalf("root has %d levels, want %d", len(s.Children), levels)
+			}
+			for _, lvl := range s.Children {
+				if len(lvl.Children) != bands {
+					t.Fatalf("level has %d bands, want %d", len(lvl.Children), bands)
+				}
+			}
+		}
+		if n := r.BucketHistogram("race.band_ms", LatencyMSBuckets).Count(); n != images*levels*bands {
+			t.Errorf("band observations = %d, want %d", n, images*levels*bands)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/eedn"
 	"repro/internal/hog"
@@ -212,9 +213,16 @@ func Train(opt TrainOptions) (*Extractor, float64, error) {
 			}
 		}
 	}
+	var trainStart time.Time
+	if obs.Enabled() {
+		trainStart = time.Now()
+	}
 	loss, err := net.Train(xs, ys, opt.Train)
 	if err != nil {
 		return nil, 0, err
+	}
+	if obs.Enabled() {
+		obs.BucketHistogramM("parrot.train_ms", obs.LatencyMSBuckets).Observe(float64(time.Since(trainStart).Microseconds()) / 1000)
 	}
 	ex, err := NewExtractor(net, 0, false, nil)
 	if err != nil {

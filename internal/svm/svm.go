@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -76,6 +77,10 @@ func DefaultTrainOptions() TrainOptions {
 
 // Train fits a linear SVM to positive and negative descriptor sets.
 func Train(pos, neg [][]float64, opt TrainOptions) (*Model, error) {
+	var trainStart time.Time
+	if obs.Enabled() {
+		trainStart = time.Now()
+	}
 	if len(pos) == 0 || len(neg) == 0 {
 		return nil, errors.New("svm: need both positive and negative examples")
 	}
@@ -197,7 +202,8 @@ func Train(pos, neg [][]float64, opt TrainOptions) (*Model, error) {
 	if obs.Enabled() {
 		obs.CounterM("svm.trainings").Inc()
 		obs.CounterM("svm.train.iterations").Add(uint64(iters))
-		obs.HistogramM("svm.train.epochs_to_converge").Observe(float64(iters))
+		obs.BucketHistogramM("svm.train.epochs_to_converge", obs.CountBuckets).Observe(float64(iters))
+		obs.BucketHistogramM("svm.train.ms", obs.LatencyMSBuckets).Observe(float64(time.Since(trainStart).Microseconds()) / 1000)
 		obs.GaugeM("svm.train.examples").Set(float64(n))
 	}
 	m := &Model{W: make([]float64, dim)}

@@ -325,7 +325,7 @@ func (s *Simulator) Run(ticks int, inputFn func(t int) []int) ([]int, error) {
 		// wall time rounds to zero still surface in telemetry; the
 		// derived rate gauge only makes sense for a positive duration.
 		d := time.Since(start)
-		obs.HistogramM("truenorth.run_duration_seconds").Observe(d.Seconds())
+		obs.BucketHistogramM("truenorth.run_duration_seconds", obs.SecondsBuckets).Observe(d.Seconds())
 		if secs := d.Seconds(); secs > 0 && ticks > 0 {
 			obs.GaugeM("truenorth.ticks_per_sec").Set(float64(ticks) / secs)
 		}

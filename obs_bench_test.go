@@ -35,6 +35,10 @@ func TestMain(m *testing.M) {
 		if out == "" {
 			continue
 		}
+		// BENCH_sim.json is a pcnn-bench comparison baseline; keep it
+		// (and BENCH_obs.json, for consistency) metric-only rather
+		// than carrying whatever span trees the run accumulated.
+		obs.DropSpans()
 		if err := obs.WriteSnapshotFile(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if code == 0 {
