@@ -26,12 +26,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# lint runs the repo's custom static-analysis suite (determinism,
-# wall-clock, fixed-point, telemetry-gating, and panic invariants)
-# and statically validates the built-in corelet against the TrueNorth
-# hardware envelope. See cmd/pcnn-lint.
+# lint runs the repo's custom static-analysis suite: the per-file
+# AST analyzers (determinism, wall-clock, fixed-point,
+# telemetry-gating, panic invariants) plus the type-aware
+# whole-program analyzers (hot-path allocation proof, map-order
+# determinism, goroutine joins, enum-switch exhaustiveness), with the
+# suppression count gated against the committed lint_budget.json. It
+# also statically validates the built-in corelet against the
+# TrueNorth hardware envelope. See cmd/pcnn-lint.
 lint:
-	$(GO) run ./cmd/pcnn-lint
+	$(GO) run ./cmd/pcnn-lint -budget lint_budget.json
 	$(GO) run ./cmd/pcnn-lint -model builtin
 
 check: build vet lint test race

@@ -49,6 +49,8 @@ const (
 
 func (d direction) String() string {
 	switch d {
+	case informational:
+		return "info"
 	case higherBetter:
 		return "higher-better"
 	case lowerBetter:

@@ -1,13 +1,23 @@
 // Command pcnn-lint is the repo's static-analysis gate. It has two
 // modes:
 //
-// Source mode (default) runs the custom analyzer suite — detrand,
-// walltime, floatfixed, obsgate, errpanic — over the module (or the
-// directories given as arguments) and exits 1 if any finding survives
-// its //lint:allow directives:
+// Source mode (default) type-checks the whole module and runs the full
+// analyzer suite — the AST checks (detrand, walltime, floatfixed,
+// obsgate, errpanic) plus the type-aware, cross-package checks
+// (hotalloc, maporder, goleak, exhaustive) — and exits nonzero if any
+// finding survives its //lint:allow directives:
 //
-//	pcnn-lint              # lint the whole module
-//	pcnn-lint internal/... # lint a subtree (trailing /... is ignored)
+//	pcnn-lint                      # lint the whole module
+//	pcnn-lint internal/...         # restrict reporting to a subtree
+//	pcnn-lint -json                # machine-readable findings
+//	pcnn-lint -github              # ::error annotations for CI
+//	pcnn-lint -budget lint_budget.json
+//
+// The -budget gate reads a JSON map of analyzer name to the maximum
+// number of //lint:allow directives the repo may carry for it; an
+// analyzer over budget fails the run even when every directive is
+// well-formed and used. This keeps suppressions a deliberate, reviewed
+// quantity instead of a ratchet that only goes up.
 //
 // Model mode statically validates a TrueNorth model file against the
 // hardware envelope (fan-in and neuron count per core, weight-LUT
@@ -20,13 +30,24 @@
 // Warnings (physically questionable but simulable constructs, e.g. an
 // axon driven by several neurons) are printed but do not fail the run
 // unless -strict is set.
+//
+// Exit codes follow the pcnn-bench convention:
+//
+//	0  clean — no findings, budget respected
+//	1  findings survived suppression, or the suppression budget is
+//	   exceeded, or blocking model violations
+//	2  usage or environment error (unreadable budget file, type-check
+//	   failure, missing go.mod, bad model file)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -36,57 +57,197 @@ import (
 func main() {
 	model := flag.String("model", "", "validate a TrueNorth model file (or 'builtin') instead of linting sources")
 	strict := flag.Bool("strict", false, "treat model warnings as errors")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	budget := flag.String("budget", "", "JSON file capping //lint:allow counts per analyzer")
 	flag.Parse()
 
 	var code int
 	if *model != "" {
 		code = runModel(*model, *strict)
 	} else {
-		code = runSource(flag.Args())
+		code = runSource(lintOptions{
+			Subtrees: flag.Args(),
+			JSON:     *jsonOut,
+			GitHub:   *github,
+			Budget:   *budget,
+		}, os.Stdout, os.Stderr)
 	}
 	os.Exit(code)
 }
 
-// runSource lints the module sources and returns the exit code.
-func runSource(args []string) int {
-	root, err := analysis.ModuleRoot(".")
+// lintOptions configures one source-mode run.
+type lintOptions struct {
+	// Root is the directory to resolve the module from; "" means the
+	// current directory.
+	Root string
+	// Subtrees restricts reporting to the given module-relative
+	// directories (trailing /... accepted). Analysis still covers the
+	// whole module — the call graph is global — only output is scoped.
+	Subtrees []string
+	JSON     bool
+	GitHub   bool
+	// Budget is the path of the suppression-budget file; "" disables
+	// the gate.
+	Budget string
+}
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// budgetViolation reports one analyzer over its allow budget.
+type budgetViolation struct {
+	Analyzer string `json:"analyzer"`
+	Allowed  int    `json:"allowed"`
+	Used     int    `json:"used"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings []jsonFinding     `json:"findings"`
+	Allows   map[string]int    `json:"allows"`
+	Budget   []budgetViolation `json:"budget_violations,omitempty"`
+}
+
+// runSource lints the module and returns the exit code. Output goes to
+// stdout, errors and the summary line to stderr, so the function is
+// directly testable.
+func runSource(opts lintOptions, stdout, stderr io.Writer) int {
+	dir := opts.Root
+	if dir == "" {
+		dir = "."
+	}
+	root, err := analysis.ModuleRoot(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pcnn-lint:", err)
+		fmt.Fprintln(stderr, "pcnn-lint:", err)
 		return 2
 	}
-	targets := []string{root}
-	if len(args) > 0 {
-		targets = targets[:0]
-		for _, a := range args {
-			a = strings.TrimSuffix(a, "...")
-			a = strings.TrimSuffix(a, string(filepath.Separator))
-			if a == "." || a == "" {
-				a = root
-			}
-			targets = append(targets, a)
-		}
+	prog, err := analysis.LoadProgram(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "pcnn-lint:", err)
+		return 2
 	}
-	total := 0
-	for _, dir := range targets {
-		diags, err := analysis.LintRoot(dir, analysis.DefaultAnalyzers())
+	diags := analysis.LintProgram(prog, analysis.DefaultAnalyzers(), analysis.DefaultProgramAnalyzers())
+
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = filepath.ToSlash(r)
+		}
+		if !inSubtrees(rel, opts.Subtrees) {
+			continue
+		}
+		findings = append(findings, jsonFinding{
+			File: rel, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+
+	allows := prog.AllowCounts()
+	var violations []budgetViolation
+	if opts.Budget != "" {
+		violations, err = checkBudget(opts.Budget, allows)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pcnn-lint:", err)
+			fmt.Fprintln(stderr, "pcnn-lint:", err)
 			return 2
 		}
-		for _, d := range diags {
-			rel := d.Pos.Filename
-			if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
-				rel = r
-			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		}
-		total += len(diags)
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "pcnn-lint: %d finding(s)\n", total)
+
+	switch {
+	case opts.JSON:
+		rep := jsonReport{Findings: findings, Allows: allows, Budget: violations}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "pcnn-lint:", err)
+			return 2
+		}
+	case opts.GitHub:
+		for _, f := range findings {
+			// GitHub annotation syntax: property values are
+			// comma/colon-escaped per the Actions toolkit rules.
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, githubEscape(f.Analyzer+": "+f.Message))
+		}
+		for _, v := range violations {
+			fmt.Fprintf(stdout, "::error title=lint-budget::%s\n",
+				githubEscape(fmt.Sprintf("analyzer %s has %d //lint:allow directives, budget is %d", v.Analyzer, v.Used, v.Allowed)))
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		for _, v := range violations {
+			fmt.Fprintf(stdout, "lint-budget: analyzer %s has %d //lint:allow directives, budget is %d\n",
+				v.Analyzer, v.Used, v.Allowed)
+		}
+	}
+
+	if len(findings) > 0 || len(violations) > 0 {
+		fmt.Fprintf(stderr, "pcnn-lint: %d finding(s), %d budget violation(s)\n", len(findings), len(violations))
 		return 1
 	}
 	return 0
+}
+
+// inSubtrees reports whether rel (slash-separated, module-relative)
+// falls under any of the requested subtrees; an empty list matches
+// everything.
+func inSubtrees(rel string, subtrees []string) bool {
+	if len(subtrees) == 0 {
+		return true
+	}
+	for _, s := range subtrees {
+		s = strings.TrimSuffix(s, "...")
+		s = strings.Trim(strings.TrimSuffix(filepath.ToSlash(s), "/"), "/")
+		if s == "" || s == "." || rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBudget loads the budget file and compares it against the
+// module's actual //lint:allow counts. Analyzers missing from the file
+// have budget zero: adding the first suppression for a new analyzer is
+// a reviewed change to the budget, not a silent default.
+func checkBudget(path string, allows map[string]int) ([]budgetViolation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("budget: %w", err)
+	}
+	budget := map[string]int{}
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return nil, fmt.Errorf("budget %s: %w", path, err)
+	}
+	names := make([]string, 0, len(allows))
+	for name := range allows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []budgetViolation
+	for _, name := range names {
+		if allows[name] > budget[name] {
+			out = append(out, budgetViolation{Analyzer: name, Allowed: budget[name], Used: allows[name]})
+		}
+	}
+	return out, nil
+}
+
+// githubEscape escapes annotation message data per the Actions runner
+// rules (%, CR, LF).
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // runModel statically validates one model file and returns the exit

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for runSource to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package lib
+
+func Double(x int) int { return 2 * x }
+`
+
+const panicSrc = `package lib
+
+func MustPositive(x int) int {
+	if x <= 0 {
+		panic("not positive")
+	}
+	return x
+}
+`
+
+const allowedPanicSrc = `package lib
+
+func MustPositive(x int) int {
+	if x <= 0 {
+		//lint:allow errpanic fixture invariant
+		panic("not positive")
+	}
+	return x
+}
+`
+
+// run wraps runSource with captured output.
+func run(t *testing.T, opts lintOptions) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := runSource(opts, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestExitCodes pins the 0/1/2 convention shared with pcnn-bench.
+func TestExitCodes(t *testing.T) {
+	clean := writeModule(t, map[string]string{"internal/lib/lib.go": cleanSrc})
+	if code, _, _ := run(t, lintOptions{Root: clean}); code != 0 {
+		t.Errorf("clean module: exit %d, want 0", code)
+	}
+
+	dirty := writeModule(t, map[string]string{"internal/lib/lib.go": panicSrc})
+	code, out, _ := run(t, lintOptions{Root: dirty})
+	if code != 1 {
+		t.Errorf("module with findings: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "errpanic") {
+		t.Errorf("finding output missing analyzer name:\n%s", out)
+	}
+
+	if code, _, _ := run(t, lintOptions{Root: t.TempDir()}); code != 2 {
+		t.Error("module-less directory should exit 2")
+	}
+}
+
+// TestJSONOutput checks the machine-readable report shape.
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/lib/lib.go": panicSrc})
+	code, out, _ := run(t, lintOptions{Root: dir, JSON: true})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "errpanic" || f.File != "internal/lib/lib.go" || f.Line == 0 {
+		t.Errorf("unexpected finding %+v", f)
+	}
+}
+
+// TestGitHubOutput checks the ::error annotation syntax.
+func TestGitHubOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/lib/lib.go": panicSrc})
+	code, out, _ := run(t, lintOptions{Root: dir, GitHub: true})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.HasPrefix(out, "::error file=internal/lib/lib.go,line=") {
+		t.Errorf("annotation format wrong:\n%s", out)
+	}
+}
+
+// TestBudgetGate checks all three budget outcomes: within budget,
+// over budget, unreadable budget file.
+func TestBudgetGate(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/lib/lib.go": allowedPanicSrc})
+
+	within := filepath.Join(dir, "budget_ok.json")
+	if err := os.WriteFile(within, []byte(`{"errpanic": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := run(t, lintOptions{Root: dir, Budget: within}); code != 0 {
+		t.Error("suppression within budget should exit 0")
+	}
+
+	over := filepath.Join(dir, "budget_over.json")
+	if err := os.WriteFile(over, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := run(t, lintOptions{Root: dir, Budget: over})
+	if code != 1 {
+		t.Errorf("over budget: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "lint-budget") || !strings.Contains(out, "errpanic") {
+		t.Errorf("budget violation not reported:\n%s", out)
+	}
+
+	if code, _, _ := run(t, lintOptions{Root: dir, Budget: filepath.Join(dir, "missing.json")}); code != 2 {
+		t.Error("unreadable budget file should exit 2")
+	}
+}
+
+// TestSubtreeScoping checks that path arguments restrict reporting
+// without disabling whole-module analysis.
+func TestSubtreeScoping(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/lib/lib.go":  panicSrc,
+		"internal/other/ok.go": cleanSrc,
+	})
+	if code, _, _ := run(t, lintOptions{Root: dir, Subtrees: []string{"internal/other"}}); code != 0 {
+		t.Error("findings outside the requested subtree must not fail the run")
+	}
+	if code, _, _ := run(t, lintOptions{Root: dir, Subtrees: []string{"internal/lib/..."}}); code != 1 {
+		t.Error("findings inside the requested subtree must fail the run")
+	}
+}

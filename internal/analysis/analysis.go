@@ -63,6 +63,10 @@ type File struct {
 	// IsTest reports a _test.go file. Analyzers enforce invariants on
 	// non-test code only.
 	IsTest bool
+	// Typed reports that the file participated in type checking and is
+	// covered by its Package's Info (set by the program loader; always
+	// false for files loaded standalone via LoadFile).
+	Typed bool
 }
 
 // PkgName returns the declared package name.

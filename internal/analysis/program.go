@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// ProgramAnalyzer is a whole-program check: unlike Analyzer it sees
+// resolved types and the cross-package call graph. Run returns raw
+// findings; directive suppression is applied by LintProgram.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Program) []Diagnostic
+}
+
+// DefaultProgramAnalyzers returns the type-aware suite in reporting
+// order.
+func DefaultProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{HotAlloc, MapOrder, GoLeak, Exhaustive}
+}
+
+// LintProgram runs the per-file analyzers over every parsed file and
+// the program analyzers over the type-checked program, applies
+// //lint:allow directives across all files, and returns the surviving
+// diagnostics sorted by position. Malformed and unused directives are
+// reported under the "lint" pseudo-analyzer, exactly as in LintRoot —
+// a directive is unused only if no analyzer of either kind that
+// actually ran was suppressed by it.
+func LintProgram(p *Program, fileAnalyzers []*Analyzer, progAnalyzers []*ProgramAnalyzer) []Diagnostic {
+	dirs := map[string]*directiveSet{} // filename -> directives
+	ran := map[string]bool{}
+	var raw []Diagnostic
+
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			dirs[p.Fset.Position(f.AST.Pos()).Filename] = parseDirectives(f)
+			for _, a := range fileAnalyzers {
+				ran[a.Name] = true
+				raw = append(raw, a.Run(f)...)
+			}
+		}
+	}
+	for _, a := range progAnalyzers {
+		ran[a.Name] = true
+		raw = append(raw, a.Run(p)...)
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if set := dirs[d.Pos.Filename]; set != nil && set.suppress(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	files := make([]string, 0, len(dirs))
+	for name := range dirs {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		out = append(out, dirs[name].problems(ran)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// AllowCounts tallies the module's well-formed //lint:allow directives
+// per analyzer, the quantity the suppression budget bounds.
+func (p *Program) AllowCounts() map[string]int {
+	out := map[string]int{}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, dir := range parseDirectives(f).all {
+				out[dir.analyzer]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package lib
+
+type mode int
+
+const (
+	modeA mode = iota
+	modeB
+	modeC
+)
+
+type level string
+
+const (
+	levelLow  level = "low"
+	levelHigh level = "high"
+)
+
+// nameBad misses modeC and has no default.
+func nameBad(m mode) string {
+	switch m {
+	case modeA:
+		return "a"
+	case modeB:
+		return "b"
+	}
+	return "?"
+}
+
+// rankBad misses a string-typed member.
+func rankBad(l level) int {
+	switch l {
+	case levelLow:
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,42 @@
+package lib
+
+// nameGood covers every member.
+func nameGood(m mode) string {
+	switch m {
+	case modeA, modeB:
+		return "ab"
+	case modeC:
+		return "c"
+	}
+	return "?"
+}
+
+// defaultGood declares its fallback explicitly.
+func defaultGood(m mode) string {
+	switch m {
+	case modeA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+// plainGood switches over a bare int, which is not an enum.
+func plainGood(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "n"
+}
+
+// rankGood covers both string members.
+func rankGood(l level) int {
+	switch l {
+	case levelLow:
+		return 0
+	case levelHigh:
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,25 @@
+package lib
+
+// fireAndForget launches a goroutine nothing ever waits for.
+func fireAndForget(n int) {
+	go func() {
+		_ = n * 2
+	}()
+}
+
+// sendNoRecv: the goroutine blocks forever on a channel the launcher
+// never drains.
+func sendNoRecv(c chan int) {
+	go func() {
+		c <- 1
+	}()
+}
+
+// methodLeak: launching a named method is just as unjoined.
+type worker struct{ n int }
+
+func (w *worker) run() { w.n++ }
+
+func methodLeak(w *worker) {
+	go w.run()
+}

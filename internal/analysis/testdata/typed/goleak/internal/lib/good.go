@@ -1,0 +1,69 @@
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+// waitGood joins workers with the WaitGroup the goroutines Done.
+func waitGood(xs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x * x
+		}(i, x)
+	}
+	wg.Wait()
+	return out
+}
+
+// chanGood joins by receiving the goroutine's send.
+func chanGood() int {
+	c := make(chan int)
+	go func() {
+		c <- 42
+	}()
+	return <-c
+}
+
+// closeGood: the launcher closes the channel the goroutine ranges
+// over, bounding the consumer.
+func closeGood(xs []int) {
+	jobs := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		for range jobs {
+		}
+		close(done)
+	}()
+	for _, x := range xs {
+		jobs <- x
+	}
+	close(jobs)
+	<-done
+}
+
+// handleGood mirrors obs.Serve: the returned shutdown closure closes
+// the server the goroutine runs.
+type server struct{ open bool }
+
+func (s *server) run()   { s.open = true }
+func (s *server) Close() { s.open = false }
+
+func handleGood() func() {
+	srv := &server{}
+	go func() {
+		srv.run()
+	}()
+	return func() { srv.Close() }
+}
+
+// ctxGood is bounded by its context.
+func ctxGood(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

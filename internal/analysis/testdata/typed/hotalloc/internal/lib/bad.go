@@ -1,0 +1,71 @@
+package lib
+
+import "fmt"
+
+type scorer interface {
+	score(x []float64) float64
+}
+
+type hot struct {
+	buf  []float64
+	dets []int
+	sc   scorer
+}
+
+// scan is the annotated root; everything it reaches is checked.
+//
+//pcnn:hotpath
+func (h *hot) scan(xs []float64) float64 {
+	h.buf = append(h.buf[:0], xs...) // ok: reslice of a field
+	var grown []int
+	for i := range xs {
+		grown = append(grown, i) // growing append: no backing origin
+	}
+	h.dets = grown
+	scratch := make([]float64, 4) // make
+	_ = scratch
+	lookup := map[int]int{1: 2} // map literal
+	_ = lookup
+	box(len(xs))             // boxing at the call inside box's caller? no — checked in box
+	return h.sc.score(h.buf) // dynamic edge to linScorer.score below
+}
+
+// box is reached from scan; passing a plain int to an interface
+// parameter boxes it.
+func box(n int) {
+	sink(n)
+}
+
+func sink(v any) { _ = v }
+
+// opaque has no module implementation, so calls through it cannot be
+// verified.
+type opaque interface {
+	run()
+}
+
+// spin's dynamic call has nothing to fan out to.
+//
+//pcnn:hotpath
+func spin(o opaque) {
+	o.run()
+}
+
+type linScorer struct{ w []float64 }
+
+// score is reached through the scorer interface (CHA edge).
+func (l *linScorer) score(x []float64) float64 {
+	out := 0.0
+	bump := func() { out++ } // closure capturing out
+	bump()                   // call through a function value
+	label := "s" + "um"      // string concatenation
+	_ = label
+	if len(x) != len(l.w) {
+		// Cold: error formatting inside a panic argument is exempt.
+		panic(fmt.Sprintf("len %d != %d", len(x), len(l.w)))
+	}
+	for i := range x {
+		out += x[i] * l.w[i]
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package lib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+type cool struct {
+	buf   []float64
+	names []string
+	mu    sync.Mutex
+	sc    scorer
+}
+
+// sweep shows every sanctioned idiom: recycled appends, value
+// literals, allowlisted stdlib calls, cold error paths, and a
+// decl-excluded callee.
+//
+//pcnn:hotpath
+func (c *cool) sweep(dst []float64, xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return dst, fmt.Errorf("empty input") // cold: error return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf[:0], xs...) // reslice of a field
+	for _, x := range c.buf {
+		dst = append(dst, x*2) // append to a parameter
+	}
+	sort.Float64s(c.buf)    // in-place sort is allowlisted
+	pair := [2]int{1, 2}    // value array literal: stack
+	pt := point{X: 1, Y: 2} // value struct literal: stack
+	_ = pair[pt.X]
+	c.slowRefit(xs)
+	return dst, nil
+}
+
+type point struct{ X, Y int }
+
+// slowRefit allocates per call and is excluded from the proof at its
+// declaration.
+//
+//lint:allow hotalloc fixture: refit is a cold maintenance path outside the 0-alloc envelope
+func (c *cool) slowRefit(xs []float64) {
+	c.names = append([]string(nil), fmt.Sprint(len(xs)))
+}

@@ -1,0 +1,39 @@
+package lib
+
+import "fmt"
+
+// collectBad appends map keys and returns them unsorted: output order
+// changes run to run.
+func collectBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sumBad accumulates floats in iteration order: the rounded total
+// depends on the order.
+func sumBad(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// meanBad uses the explicit x = x + v form.
+func meanBad(m map[int]float64) float64 {
+	acc := 0.0
+	for _, v := range m {
+		acc = acc + v
+	}
+	return acc / float64(len(m))
+}
+
+// printBad serializes the random iteration order directly.
+func printBad(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,44 @@
+package lib
+
+import "sort"
+
+// collectGood is the sanctioned collect-then-sort idiom.
+func collectGood(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countGood: integer accumulation commutes exactly.
+func countGood(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// indexGood writes per-key entries; no cross-iteration order exists.
+func indexGood(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// localGood appends into a slice scoped to the iteration.
+func localGood(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		batch := make([]int, 0, len(vs))
+		for _, v := range vs {
+			batch = append(batch, v)
+		}
+		n += len(batch)
+	}
+	return n
+}

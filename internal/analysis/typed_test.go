@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// typedFixtureCases binds each program analyzer to its fixture module
+// under testdata/typed/<name>: a self-contained mini-module whose
+// bad.go must produce findings and good.go must produce none.
+var typedFixtureCases = []struct {
+	name     string
+	analyzer *ProgramAnalyzer
+}{
+	{"hotalloc", HotAlloc},
+	{"maporder", MapOrder},
+	{"goleak", GoLeak},
+	{"exhaustive", Exhaustive},
+}
+
+// TestTypedFixtures is the golden-file harness for the type-aware
+// analyzers, mirroring TestAnalyzerFixtures: findings over the fixture
+// module must match testdata/typed/<name>/expect.txt exactly.
+// Regenerate with go test ./internal/analysis -run TypedFixtures -update.
+func TestTypedFixtures(t *testing.T) {
+	for _, tc := range typedFixtureCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "typed", tc.name)
+			prog, err := LoadProgram(dir)
+			if err != nil {
+				t.Fatalf("loading fixture module: %v", err)
+			}
+			diags := LintProgram(prog, nil, []*ProgramAnalyzer{tc.analyzer})
+
+			var got []string
+			badFindings, goodFindings := 0, 0
+			for _, d := range diags {
+				base := filepath.Base(d.Pos.Filename)
+				got = append(got, fmt.Sprintf("%s:%d: %s: %s", base, d.Pos.Line, d.Analyzer, d.Message))
+				switch {
+				case strings.Contains(base, "bad"):
+					badFindings++
+				case strings.Contains(base, "good"):
+					goodFindings++
+				}
+			}
+			if badFindings == 0 {
+				t.Error("positive fixture produced no findings; the analyzer would not fail without its check")
+			}
+			if goodFindings != 0 {
+				t.Errorf("negative fixture produced %d findings; analyzer over-triggers", goodFindings)
+			}
+			sort.Strings(got)
+			text := strings.Join(got, "\n")
+			if len(got) > 0 {
+				text += "\n"
+			}
+
+			golden := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if string(want) != text {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", text, want)
+			}
+		})
+	}
+}
+
+// The module's own program is loaded once and shared: type-checking
+// the repo plus its stdlib imports is the expensive step.
+var (
+	selfOnce sync.Once
+	selfProg *Program
+	selfErr  error
+)
+
+func selfProgram(t *testing.T) *Program {
+	t.Helper()
+	selfOnce.Do(func() {
+		root, err := ModuleRoot(".")
+		if err != nil {
+			selfErr = err
+			return
+		}
+		selfProg, selfErr = LoadProgram(root)
+	})
+	if selfErr != nil {
+		t.Fatalf("loading module program: %v", selfErr)
+	}
+	return selfProg
+}
+
+// TestLoadProgramSelf checks the loader against the repo itself: the
+// known packages resolve, non-test files are typed, test files are
+// parsed but untyped.
+func TestLoadProgramSelf(t *testing.T) {
+	prog := selfProgram(t)
+	if prog.ModulePath != "repro" {
+		t.Fatalf("module path = %q, want repro", prog.ModulePath)
+	}
+	for _, path := range []string{
+		"repro/internal/analysis",
+		"repro/internal/detect",
+		"repro/internal/truenorth",
+		"repro/cmd/pcnn-lint",
+	} {
+		if prog.Package(path) == nil {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+	pkg := prog.Package("repro/internal/detect")
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("detect package missing type info")
+	}
+	sawTest, sawTyped := false, false
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			sawTest = true
+			if f.Typed {
+				t.Errorf("%s: test file marked typed", f.Path)
+			}
+		}
+		if f.Typed {
+			sawTyped = true
+		}
+	}
+	if !sawTest || !sawTyped {
+		t.Errorf("detect package: sawTest=%v sawTyped=%v, want both", sawTest, sawTyped)
+	}
+}
+
+// TestCallGraphSelf checks the resolved edges the hotalloc proof rests
+// on: the interface call in scanBand fans out to every DescriptorInto
+// implementation (CHA), and Step's call to the unexported fire method
+// resolves statically.
+func TestCallGraphSelf(t *testing.T) {
+	g := selfProgram(t).CallGraph()
+
+	findNode := func(name string) *FuncNode {
+		t.Helper()
+		for _, n := range g.Nodes() {
+			if funcDisplayName(n.Obj) == name {
+				return n
+			}
+		}
+		t.Fatalf("no call-graph node %s", name)
+		return nil
+	}
+
+	scan := findNode("(*detect.Detector).scanBand")
+	var descCallees []string
+	for _, site := range scan.Calls {
+		if !site.Dynamic {
+			continue
+		}
+		for _, c := range site.Callees {
+			if c.Obj.Name() == "DescriptorInto" {
+				descCallees = append(descCallees, funcDisplayName(c.Obj))
+			}
+		}
+	}
+	sort.Strings(descCallees)
+	want := []string{
+		"(*hog.Extractor).DescriptorInto",
+		"(*hog.FPGAExtractor).DescriptorInto",
+		"(*napprox.Extractor).DescriptorInto",
+		"(*parrot.Extractor).DescriptorInto",
+	}
+	if strings.Join(descCallees, ",") != strings.Join(want, ",") {
+		t.Errorf("scanBand DescriptorInto fan-out = %v, want %v", descCallees, want)
+	}
+
+	step := findNode("(*truenorth.Simulator).Step")
+	foundFire, foundExternal := false, false
+	for _, site := range step.Calls {
+		for _, c := range site.Callees {
+			if c.Obj.Name() == "fire" && !site.Dynamic {
+				foundFire = true
+			}
+		}
+		if site.ExternalPkg == "repro/internal/obs" || site.External == "obs.Enabled" {
+			foundExternal = true
+		}
+	}
+	if !foundFire {
+		t.Error("Step -> (*Core).fire static edge missing")
+	}
+	// obs is a module package, so obs.Enabled must be a resolved module
+	// edge, never classified external.
+	if foundExternal {
+		t.Error("module-internal call classified as external")
+	}
+}
+
+// TestLintProgramSelf is the whole-repo self-scan: internal/... and
+// cmd/... must be clean under the full nine-analyzer suite, with no
+// unexplained suppressions.
+func TestLintProgramSelf(t *testing.T) {
+	prog := selfProgram(t)
+	diags := LintProgram(prog, DefaultAnalyzers(), DefaultProgramAnalyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestAllowCountsSelf pins the suppression inventory the committed
+// budget file is sized against; growing it should be a conscious,
+// reviewed act.
+func TestAllowCountsSelf(t *testing.T) {
+	counts := selfProgram(t).AllowCounts()
+	if counts["hotalloc"] == 0 {
+		t.Error("expected at least one hotalloc allow (EednClassifier.Score exclusion)")
+	}
+	for name, n := range counts {
+		if n < 0 {
+			t.Errorf("allow count %s = %d", name, n)
+		}
+	}
+}

@@ -152,8 +152,11 @@ type EednClassifier struct {
 	Scale float64
 }
 
-// Score implements detect.Scorer.
-func (c *EednClassifier) Score(x []float64) float64 {
+// Score implements detect.Scorer. The Eedn forward pass allocates its
+// layer activations per call, so this Scorer is outside the 0-alloc
+// scan envelope — acceptable because Eedn scoring is the training-side
+// evaluation path, not the deployed FPGA/TrueNorth pipeline.
+func (c *EednClassifier) Score(x []float64) float64 { //lint:allow hotalloc eedn forward pass allocates per call; not a deployment scorer
 	in := x
 	if c.Scale != 0 && c.Scale != 1 {
 		in = make([]float64, len(x))

@@ -172,6 +172,40 @@ func lessDet(a, b Detection) bool {
 // NMS applies greedy non-maximum suppression: detections are taken in
 // lessDet order (descending score, deterministic tie-break) and any
 // remaining box overlapping a kept box with IoU > eps is discarded.
+// It is NMSInto with a fresh destination; use NMSInto with a recycled
+// slice to avoid the per-call result allocation.
+func NMS(dets []Detection, eps float64) []Detection {
+	return NMSInto(nil, dets, eps)
+}
+
+// nmsScratch is the recycled working state of one NMSInto call. The
+// kept-box spatial index is a chained bucket map: head maps a grid
+// cell to the most recently kept detection in it (as an index into the
+// detections appended to dst this call), and next chains earlier ones,
+// so clearing between calls is clear(head) + reslicing — no per-call
+// map or slice construction.
+type nmsScratch struct {
+	sorted []Detection
+	head   map[[2]int]int32
+	next   []int32
+	sorter detSorter
+}
+
+// detSorter implements sort.Interface over lessDet; driving sort.Sort
+// with a pointer to it avoids the closure and interface allocations of
+// sort.Slice.
+type detSorter struct{ dets []Detection }
+
+func (s *detSorter) Len() int           { return len(s.dets) }
+func (s *detSorter) Less(i, j int) bool { return lessDet(s.dets[i], s.dets[j]) }
+func (s *detSorter) Swap(i, j int)      { s.dets[i], s.dets[j] = s.dets[j], s.dets[i] }
+
+var nmsPool = sync.Pool{New: func() any { return new(nmsScratch) }}
+
+// NMSInto appends the NMS-filtered detections to dst and returns the
+// extended slice — the same kept set and order as NMS, with zero
+// steady-state allocations when dst has capacity (working state is
+// pooled).
 //
 // Kept boxes are indexed in a uniform grid of cells sized to the
 // largest box dimension S: a kept box can only suppress a candidate it
@@ -179,11 +213,15 @@ func lessDet(a, b Detection) bool {
 // (-S, S) of the candidate's, i.e. in the 3x3 cell neighborhood. The
 // inner scan therefore touches only nearby kept boxes instead of all
 // of them, while keeping exactly the greedy pass's kept set.
-func NMS(dets []Detection, eps float64) []Detection {
-	sorted := append([]Detection(nil), dets...)
-	sort.Slice(sorted, func(i, j int) bool { return lessDet(sorted[i], sorted[j]) })
+//
+//pcnn:hotpath
+func NMSInto(dst, dets []Detection, eps float64) []Detection {
+	s := nmsPool.Get().(*nmsScratch)
+	s.sorted = append(s.sorted[:0], dets...)
+	s.sorter.dets = s.sorted
+	sort.Sort(&s.sorter)
 	cell := 1
-	for _, d := range sorted {
+	for _, d := range s.sorted {
 		if d.Box.W > cell {
 			cell = d.Box.W
 		}
@@ -191,16 +229,29 @@ func NMS(dets []Detection, eps float64) []Detection {
 			cell = d.Box.H
 		}
 	}
-	buckets := make(map[[2]int][]Detection)
-	var kept []Detection
-	for _, d := range sorted {
+	if s.head == nil {
+		//lint:allow hotalloc one-time scratch-map warm-up; cleared and reused across calls
+		s.head = make(map[[2]int]int32)
+	} else {
+		clear(s.head)
+	}
+	s.next = s.next[:0]
+	base := len(dst)
+	for _, d := range s.sorted {
 		cx, cy := floorDiv(d.Box.X, cell), floorDiv(d.Box.Y, cell)
 		ok := true
 	scan:
 		for by := cy - 1; by <= cy+1; by++ {
 			for bx := cx - 1; bx <= cx+1; bx++ {
-				for _, k := range buckets[[2]int{bx, by}] {
-					if d.Box.IoU(k.Box) > eps {
+				idx, found := s.head[[2]int{bx, by}]
+				if !found {
+					continue
+				}
+				// Chain order is newest-first; the kept/discard
+				// decision only asks whether any kept box overlaps,
+				// so traversal order cannot change the result.
+				for i := idx; i >= 0; i = s.next[i] {
+					if d.Box.IoU(dst[base+int(i)].Box) > eps {
 						ok = false
 						break scan
 					}
@@ -208,12 +259,20 @@ func NMS(dets []Detection, eps float64) []Detection {
 			}
 		}
 		if ok {
-			kept = append(kept, d)
+			k := int32(len(dst) - base)
+			dst = append(dst, d)
 			key := [2]int{cx, cy}
-			buckets[key] = append(buckets[key], d)
+			prev, found := s.head[key]
+			if !found {
+				prev = -1
+			}
+			s.next = append(s.next, prev)
+			s.head[key] = k
 		}
 	}
-	return kept
+	s.sorter.dets = nil
+	nmsPool.Put(s)
+	return dst
 }
 
 // floorDiv returns floor(a/b) for b > 0 (Go's integer division

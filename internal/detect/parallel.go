@@ -233,6 +233,8 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 // runs concurrently with other bands over the same read-only grid;
 // everything it writes is band-private. The loop is allocation-free
 // once sc's buffers are warm.
+//
+//pcnn:hotpath
 func (d *Detector) scanBand(sc *workerScratch, g *hog.Grid, r0, r1 int, scale float64, winW, winH int) {
 	cfg := d.Config
 	sc.dets = sc.dets[:0]

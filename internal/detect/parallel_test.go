@@ -370,6 +370,37 @@ func TestNMSPermutationInvariant(t *testing.T) {
 	}
 }
 
+// TestNMSIntoSteadyStateAllocs pins NMSInto's 0-alloc contract: with a
+// warm pooled scratch and a dst with capacity, filtering allocates
+// nothing.
+func TestNMSIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dets := randomDetections(rng, 150)
+	dst := NMSInto(nil, dets, 0.2) // warm scratch and size dst
+	allocs := testing.AllocsPerRun(10, func() {
+		dst = NMSInto(dst[:0], dets, 0.2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state NMSInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestNMSIntoAppends checks NMSInto extends dst in place, leaving the
+// prefix untouched.
+func TestNMSIntoAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dets := randomDetections(rng, 80)
+	want := NMS(dets, 0.3)
+	prefix := Detection{Box: dataset.Box{X: -7, Y: -7, W: 1, H: 1}, Score: 99}
+	got := NMSInto([]Detection{prefix}, dets, 0.3)
+	if len(got) != len(want)+1 || !reflect.DeepEqual(got[0], prefix) {
+		t.Fatalf("NMSInto disturbed dst prefix (len %d, want %d)", len(got), len(want)+1)
+	}
+	if !reflect.DeepEqual(got[1:], want) {
+		t.Fatal("NMSInto appended a different kept set than NMS")
+	}
+}
+
 // TestEvaluatePermutationInvariant checks the miss-rate/FPPI curve is
 // independent of per-image detection order (equal-score tie-breaks
 // included).

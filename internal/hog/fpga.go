@@ -133,6 +133,8 @@ func (e *FPGAExtractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]fl
 // DescriptorInto mirrors Extractor.DescriptorInto for the fixed-point
 // grid: block assembly and normalization are the same float model, so
 // delegation preserves bit-identity with DescriptorAt.
+//
+//pcnn:hotpath
 func (e *FPGAExtractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]float64, error) {
 	ref := Extractor{cfg: e.cfg}
 	return ref.DescriptorInto(dst, g, cellX, cellY)

@@ -94,6 +94,8 @@ func (n NormMode) String() string {
 // applyNorm normalizes one block vector in place.
 func applyNorm(mode NormMode, v []float64) {
 	switch mode {
+	case NormNone:
+		// Raw histogram counts pass through untouched.
 	case NormL2:
 		stats.Normalize(v)
 	case NormL1, NormL1Sqrt:
@@ -424,6 +426,8 @@ func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float6
 // the same values as DescriptorAt but with zero allocations once dst
 // has capacity (append into dst[:0] of a per-worker scratch buffer).
 // On error dst is returned unchanged.
+//
+//pcnn:hotpath
 func (e *Extractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]float64, error) {
 	cx, cy := e.cfg.CellsX(), e.cfg.CellsY()
 	if err := g.checkWindow(cellX, cellY, cx, cy, e.cfg.NBins); err != nil {

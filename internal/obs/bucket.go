@@ -85,6 +85,8 @@ func NewBucketHistogram(bounds []float64) *BucketHistogram {
 // Observe records one sample. It performs no allocations and takes no
 // locks: a linear scan over the (small, cache-resident) bound slice,
 // two atomic adds, and a CAS loop for the float sum.
+//
+//pcnn:hotpath
 func (h *BucketHistogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -344,6 +344,8 @@ func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float6
 // DescriptorInto appends the window descriptor at (cellX, cellY) to
 // dst — DescriptorAt without per-window allocations. Safe for
 // concurrent callers with distinct dst buffers.
+//
+//pcnn:hotpath
 func (e *Extractor) DescriptorInto(dst []float64, g *hog.Grid, cellX, cellY int) ([]float64, error) {
 	return e.asm.DescriptorInto(dst, g, cellX, cellY)
 }

@@ -211,6 +211,8 @@ func (s *Simulator) InjectInputs(pins []int) error {
 // stochastic neurons (Core.idleActive). Cores are always visited in
 // ascending ID order so trace event order and noise draws match across
 // engines exactly.
+//
+//pcnn:hotpath
 func (s *Simulator) Step() []bool {
 	// Advance to the slot injections (delay 1) were scheduled into,
 	// then consume it.
@@ -284,6 +286,7 @@ func (s *Simulator) Step() []bool {
 // same scheme obs.Histogram uses) for PublishMetrics to drain.
 func (s *Simulator) sampleActiveCores(n int) {
 	if cap(s.activeSamples) == 0 {
+		//lint:allow hotalloc one-time reservoir warm-up, obs-gated and amortized over the run
 		s.activeSamples = make([]float64, 0, activeSampleCap)
 	}
 	s.activeTicks++
