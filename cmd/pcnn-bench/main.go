@@ -77,6 +77,11 @@ func ruleFor(name, field string) rule {
 		return rule{Dir: mustZero}
 	case field == "" && strings.HasSuffix(name, "_per_sec"):
 		return rule{Dir: higherBetter, Tol: 0.15}
+	case strings.HasSuffix(name, "_utilization") &&
+		(field == "" || field == "p50" || field == "p99" || field == "mean"):
+		// Efficiency ratios in [0, 1]: dropping utilization means idle
+		// workers, so it guards upward like throughput.
+		return rule{Dir: higherBetter, Tol: 0.25}
 	case (strings.HasSuffix(name, "_ms") || strings.HasSuffix(name, "_seconds")) &&
 		(field == "p50" || field == "p99" || field == "mean"):
 		return rule{Dir: lowerBetter, Tol: 0.30}

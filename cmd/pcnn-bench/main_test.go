@@ -156,6 +156,11 @@ func TestRuleClassification(t *testing.T) {
 		{"detect.band_ms", "count", informational},
 		{"detect.band_ms", "p90", informational}, // reservoir p90 is noisy; only p50/p99/mean gate
 		{"detect.workers", "", informational},
+		{"detect.worker_utilization", "", higherBetter},
+		{"detect.worker_utilization", "p50", higherBetter},
+		{"detect.worker_utilization", "p99", higherBetter},
+		{"detect.worker_utilization", "mean", higherBetter},
+		{"detect.worker_utilization", "count", informational},
 	}
 	for _, c := range cases {
 		if got := ruleFor(c.name, c.field); got.Dir != c.want {

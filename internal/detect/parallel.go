@@ -80,9 +80,11 @@ func (d *Detector) getState(workers int) *scanState {
 // DetectRaw returns all above-threshold windows before suppression, in
 // (level, row, col) scan order — invariant to Config.Workers. With
 // telemetry enabled it records per-level window counts and timings,
-// per-band timings, worker count and utilization, and an aggregate
-// windows/s gauge; the per-window inner loop itself carries no
-// telemetry.
+// per-band timings, worker count, per-image parallel-phase worker
+// utilization (detect.worker_utilization, a bucketed histogram of
+// band-busy time over workers x parallel wall time, so serial pyramid
+// and grid phases don't dilute it), and an aggregate windows/s gauge;
+// the per-window inner loop itself carries no telemetry.
 func (d *Detector) DetectRaw(img *imgproc.Image) []Detection {
 	workers := d.Config.effectiveWorkers()
 	if obs.Enabled() {
@@ -115,6 +117,11 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 	for b := 0; b < workers; b++ {
 		st.ws[b].windows, st.ws[b].errs, st.ws[b].busy = 0, 0, 0
 	}
+	// Parallel-phase utilization accumulators: band busy seconds and
+	// workers x wall seconds, summed over levels that actually fanned
+	// out. Levels narrow enough to run single-band are excluded — they
+	// measure nothing about worker balance.
+	var parBusy, parDenom float64
 	var out []Detection
 	for li, level := range levels {
 		var levelStart time.Time
@@ -155,14 +162,22 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 			}
 			out = append(out, sc.dets...)
 		} else {
-			chunk := (nRows + w - 1) / w
+			var busyBefore time.Duration
+			var parStart time.Time
+			if measured {
+				for b := 0; b < w; b++ {
+					busyBefore += st.ws[b].busy
+				}
+				parStart = time.Now()
+			}
 			var wg sync.WaitGroup
 			for b := 0; b < w; b++ {
-				r0 := b * chunk
-				r1 := r0 + chunk
-				if r1 > nRows {
-					r1 = nRows
-				}
+				// Balanced contiguous split: band sizes differ by at most
+				// one row, so no worker draws an empty or double-length
+				// band on narrow levels (ceil-chunking did both, idling
+				// trailing workers and capping utilization).
+				r0 := b * nRows / w
+				r1 := (b + 1) * nRows / w
 				sc := &st.ws[b]
 				wg.Add(1)
 				go func() {
@@ -183,6 +198,14 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 				}()
 			}
 			wg.Wait()
+			if measured {
+				var busyAfter time.Duration
+				for b := 0; b < w; b++ {
+					busyAfter += st.ws[b].busy
+				}
+				parBusy += (busyAfter - busyBefore).Seconds()
+				parDenom += float64(w) * time.Since(parStart).Seconds()
+			}
 			// Deterministic merge: bands cover ascending row ranges, so
 			// appending in band order restores the sequential scan order.
 			for b := 0; b < w; b++ {
@@ -201,11 +224,9 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 		}
 	}
 	var totalWindows, totalErrs uint64
-	var busySum time.Duration
 	for b := 0; b < workers; b++ {
 		totalWindows += st.ws[b].windows
 		totalErrs += st.ws[b].errs
-		busySum += st.ws[b].busy
 	}
 	if totalErrs > 0 {
 		d.descErrors.Add(totalErrs)
@@ -219,10 +240,10 @@ func (d *Detector) detectRaw(st *scanState, img *imgproc.Image, workers int) []D
 		obs.CounterM("detect.descriptor_errors").Add(totalErrs)
 		if secs := time.Since(scanStart).Seconds(); secs > 0 {
 			obs.GaugeM("detect.windows_per_sec").Set(float64(totalWindows) / secs)
-			if workers > 1 {
-				obs.GaugeM("detect.worker_utilization").Set(
-					busySum.Seconds() / (float64(workers) * secs))
-			}
+		}
+		if parDenom > 0 {
+			obs.BucketHistogramM("detect.worker_utilization", obs.RatioBuckets).
+				Observe(parBusy / parDenom)
 		}
 	}
 	return out

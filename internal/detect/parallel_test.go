@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/hog"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 )
 
 // withProcs raises GOMAXPROCS to at least n for the test, so the band
@@ -42,6 +43,15 @@ func newLinScorer(seed int64, n int) linScorer {
 
 func (s linScorer) Score(x []float64) float64 {
 	var v float64
+	if len(x) <= len(s.w) {
+		// The common shape (weights sized to the descriptor): a straight
+		// dot product, no per-element modulo. Same terms, same order.
+		w := s.w[:len(x)]
+		for i, xi := range x {
+			v += xi * w[i]
+		}
+		return v
+	}
 	for i, xi := range x {
 		v += xi * s.w[i%len(s.w)]
 	}
@@ -198,6 +208,40 @@ func TestDetectParallelShort(t *testing.T) {
 	}
 	if got := det.DetectAll(imgs); len(got) != len(imgs) {
 		t.Fatalf("DetectAll returned %d results, want %d", len(got), len(imgs))
+	}
+}
+
+// TestWorkerUtilizationHistogram checks the per-image utilization
+// metric: with telemetry on and a parallel scan, every DetectRaw must
+// observe one ratio in (0, 1] into the bucketed histogram (so p50/p99
+// survive into bench snapshots), and a single-worker scan must observe
+// nothing.
+func TestWorkerUtilizationHistogram(t *testing.T) {
+	withProcs(t, 4)
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	h := obs.BucketHistogramM("detect.worker_utilization", obs.RatioBuckets)
+	base := h.Count()
+	cfg := DefaultConfig()
+	cfg.Threshold = 1e18
+	cfg.Workers = 1
+	det := testDetector(t, cfg)
+	img := dataset.NewGenerator(4).NegativeImage(160, 288)
+	det.DetectRaw(img)
+	if got := h.Count(); got != base {
+		t.Fatalf("single-worker scan observed utilization (%d -> %d)", base, got)
+	}
+	const images = 3
+	det.Config.Workers = 4
+	for i := 0; i < images; i++ {
+		det.DetectRaw(img)
+	}
+	if got := h.Count(); got != base+images {
+		t.Fatalf("utilization count = %d, want %d (one observation per parallel image)", got-base, images)
+	}
+	mean := h.Sum() / float64(h.Count())
+	if mean <= 0 || mean > 1.0001 || math.IsNaN(mean) {
+		t.Fatalf("utilization mean %v outside (0, 1]", mean)
 	}
 }
 

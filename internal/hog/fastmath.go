@@ -1,0 +1,164 @@
+// FastMath kernels: ε-bounded, reordered replacements for the libm
+// calls on the HoG hot path. The default extractor path preserves
+// float-op order exactly (bit-identical to the historical per-pixel
+// code); setting Config.FastMath trades that for speed under an ε
+// contract enforced by the differential test in fastmath_test.go:
+//
+//   - gradient magnitude: math.Sqrt(ix*ix+iy*iy) instead of
+//     math.Hypot (no overflow guard; HoG gradients are O(1));
+//   - orientation binning: a polynomial atan2 (fastAtan2, odd minimax
+//     polynomial on [0,1] with octant reconstruction) and a multiply
+//     by the precomputed bins-per-degree reciprocal instead of libm
+//     atan2 plus a divide;
+//   - block normalization: one reciprocal (via invSqrtFast, a
+//     math.Float64bits-seeded Newton iteration, or 1/sum for L1) and
+//     per-element multiplies instead of per-element divides.
+//
+// The reorderings apply only where the descriptor is a continuous
+// function of the perturbed quantity, so a tiny angle or magnitude
+// error yields a proportionally tiny descriptor error:
+// VoteMagnitudeInterp binning is continuous (vote mass shifts linearly
+// across the bin boundary), but VoteMagnitude/VoteCount binning and
+// the VoteCount threshold are step functions, so those modes keep the
+// exact atan2/Hypot chain and FastMath accelerates only their block
+// normalization. Golden-fixture tests refuse to run when FastMath is
+// forced; see FastMathForced.
+package hog
+
+import (
+	"math"
+	"os"
+)
+
+// FastMathForced reports whether the PCNN_FASTMATH environment
+// variable requests FastMath extractors repo-wide. Reference and
+// NApproxStyle honor it, which lets benchmarks flip the approximate
+// path without code edits (PCNN_FASTMATH=1 make bench-detect).
+// Golden-fixture tests must check this and refuse to run — fixtures
+// record the exact path.
+func FastMathForced() bool {
+	v := os.Getenv("PCNN_FASTMATH")
+	return v == "1" || v == "true"
+}
+
+// Weighted-least-squares polynomial coefficients for atan(x) ≈
+// x·(P0 + s·(P1 + … s·P7)), s = x², on [0, 1] (fit on Chebyshev
+// nodes); max absolute error ≈ 4.1e-8 rad, pinned by
+// TestFastAtan2Accuracy.
+const (
+	atanP0 = 0.99999943755875997
+	atanP1 = -0.33330109507101857
+	atanP2 = 0.19948539949744407
+	atanP3 = -0.13915949875778927
+	atanP4 = 0.096566162342399536
+	atanP5 = -0.056067865644265281
+	atanP6 = 0.02194972202474409
+	atanP7 = -0.0040741351349930103
+)
+
+// fastAtan2 approximates math.Atan2(y, x) for finite inputs with an
+// absolute error below 1e-7 radians. The (0, 0) input returns 0,
+// matching math.Atan2's ±0 convention closely enough for binning.
+//
+//pcnn:hotpath
+func fastAtan2(y, x float64) float64 {
+	ay, ax := math.Abs(y), math.Abs(x)
+	if ax == 0 && ay == 0 {
+		return 0
+	}
+	// Reduce to a ratio in [0, 1] so the polynomial stays in its
+	// minimax range, then undo the octant folding.
+	var a float64
+	swap := ay > ax
+	if swap {
+		a = ax / ay
+	} else {
+		a = ay / ax
+	}
+	s := a * a
+	r := a * (atanP0 + s*(atanP1+s*(atanP2+s*(atanP3+s*(atanP4+s*(atanP5+s*(atanP6+s*atanP7)))))))
+	if swap {
+		r = math.Pi/2 - r
+	}
+	if x < 0 {
+		r = math.Pi - r
+	}
+	if y < 0 {
+		r = -r
+	}
+	return r
+}
+
+// invSqrtFast returns 1/sqrt(x) for x > 0 via the classic
+// math.Float64bits magic-constant seed refined by three Newton
+// iterations: the seed is within ~3.4% and each iteration squares the
+// relative error, landing near 1e-11 — far inside the FastMath ε.
+//
+//pcnn:hotpath
+func invSqrtFast(x float64) float64 {
+	half := 0.5 * x
+	y := math.Float64frombits(0x5FE6EB50C7B537A9 - math.Float64bits(x)>>1)
+	y *= 1.5 - half*y*y
+	y *= 1.5 - half*y*y
+	y *= 1.5 - half*y*y
+	return y
+}
+
+// applyNormFast is applyNorm with the division-free FastMath
+// reductions: the norm (or sum) is computed once and folded into a
+// reciprocal multiply.
+//
+//pcnn:hotpath
+func applyNormFast(mode NormMode, v []float64) {
+	switch mode {
+	case NormNone:
+	case NormL2:
+		fastL2(v)
+	case NormL1, NormL1Sqrt:
+		var sum float64
+		for _, x := range v {
+			sum += math.Abs(x)
+		}
+		if sum == 0 {
+			return
+		}
+		inv := 1 / sum
+		for i := range v {
+			v[i] *= inv
+			if mode == NormL1Sqrt {
+				v[i] = math.Sqrt(math.Abs(v[i]))
+			}
+		}
+	case NormL2Hys:
+		fastL2(v)
+		clipped := false
+		for i := range v {
+			if v[i] > 0.2 {
+				v[i] = 0.2
+				clipped = true
+			}
+		}
+		if clipped {
+			fastL2(v)
+		}
+	}
+}
+
+// fastL2 normalizes v to unit L2 norm with one invSqrtFast and
+// per-element multiplies (the FastMath counterpart of
+// stats.Normalize, which divides each element by the norm).
+//
+//pcnn:hotpath
+func fastL2(v []float64) {
+	var sumsq float64
+	for _, x := range v {
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return
+	}
+	inv := invSqrtFast(sumsq)
+	for i := range v {
+		v[i] *= inv
+	}
+}

@@ -1,0 +1,183 @@
+package hog
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/imgproc"
+)
+
+func TestFastAtan2Accuracy(t *testing.T) {
+	maxErr := 0.0
+	// Dense angle sweep at several radii plus axis/diagonal edge cases.
+	for _, r := range []float64{1e-6, 0.01, 0.5, 1, 7, 1e3} {
+		for i := 0; i < 20000; i++ {
+			ang := (float64(i)/20000*2 - 1) * math.Pi
+			y, x := r*math.Sin(ang), r*math.Cos(ang)
+			if d := math.Abs(fastAtan2(y, x) - math.Atan2(y, x)); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	for _, c := range [][2]float64{{0, 1}, {0, -1}, {1, 0}, {-1, 0}, {1, 1}, {-1, 1}, {1, -1}, {-1, -1}} {
+		if d := math.Abs(fastAtan2(c[0], c[1]) - math.Atan2(c[0], c[1])); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("fastAtan2 max error %.3g rad, want < 1e-6", maxErr)
+	}
+	if got := fastAtan2(0, 0); got != 0 {
+		t.Fatalf("fastAtan2(0,0) = %v, want 0", got)
+	}
+}
+
+func TestInvSqrtFastAccuracy(t *testing.T) {
+	for exp := -20; exp <= 20; exp++ {
+		for _, m := range []float64{1, 1.3, 1.9999, math.Pi / 2} {
+			x := m * math.Pow(2, float64(exp))
+			got := invSqrtFast(x)
+			want := 1 / math.Sqrt(x)
+			if rel := math.Abs(got-want) / want; rel > 1e-9 {
+				t.Fatalf("invSqrtFast(%g) rel error %.3g, want < 1e-9", x, rel)
+			}
+		}
+	}
+}
+
+func TestFastMathForced(t *testing.T) {
+	for _, c := range []struct {
+		val  string
+		want bool
+	}{{"", false}, {"0", false}, {"no", false}, {"1", true}, {"true", true}} {
+		t.Setenv("PCNN_FASTMATH", c.val)
+		if got := FastMathForced(); got != c.want {
+			t.Fatalf("PCNN_FASTMATH=%q: FastMathForced() = %v, want %v", c.val, got, c.want)
+		}
+		if got := Reference().FastMath; got != c.want {
+			t.Fatalf("PCNN_FASTMATH=%q: Reference().FastMath = %v, want %v", c.val, got, c.want)
+		}
+	}
+}
+
+// TestFastMathDescriptorEpsilon is the FastMath ε contract: over fuzzed
+// images and the configuration space, every descriptor component of the
+// FastMath extractor must stay within a mixed absolute/relative ε of
+// the exact path. The bound is far looser than the expected error
+// (angle error ~1e-7 rad) to keep the test robust, yet tight enough
+// that a wrong octant, a dropped Newton iteration, or a misplaced
+// reciprocal fails immediately.
+func TestFastMathDescriptorEpsilon(t *testing.T) {
+	const eps = 1e-3
+	rng := rand.New(rand.NewSource(42))
+	cfgs := []Config{Reference(), NApproxStyle()}
+	{
+		c := Reference()
+		c.Norm = NormL2Hys
+		cfgs = append(cfgs, c)
+		c.Norm = NormL1Sqrt
+		cfgs = append(cfgs, c)
+		c.Norm = NormL1
+		c.Voting = VoteMagnitude
+		cfgs = append(cfgs, c)
+		c = Reference()
+		c.Signed = true
+		c.NBins = 18
+		cfgs = append(cfgs, c)
+	}
+	worst := 0.0
+	for ci, cfg := range cfgs {
+		exactCfg, fastCfg := cfg, cfg
+		exactCfg.FastMath, fastCfg.FastMath = false, true
+		exact, err := NewExtractor(exactCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewExtractor(fastCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			img := imgproc.New(72+rng.Intn(40), 128+rng.Intn(40))
+			for i := range img.Pix {
+				img.Pix[i] = rng.Float64()
+			}
+			var ge, gf Grid
+			exact.GridInto(&ge, img)
+			fast.GridInto(&gf, img)
+			for gy := 0; gy+cfg.CellsY() <= ge.CellsY; gy += 2 {
+				for gx := 0; gx+cfg.CellsX() <= ge.CellsX; gx += 2 {
+					de, err := exact.DescriptorInto(nil, &ge, gx, gy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					df, err := fast.DescriptorInto(nil, &gf, gx, gy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range de {
+						d := math.Abs(de[i]-df[i]) / (1 + math.Abs(de[i]))
+						if d > worst {
+							worst = d
+						}
+						if d > eps {
+							t.Fatalf("cfg %d window (%d,%d) component %d: exact %v fast %v (mixed err %.3g > %g)",
+								ci, gx, gy, i, de[i], df[i], d, eps)
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("worst mixed component error: %.3g", worst)
+}
+
+// TestGoldenTestsGuardFastMath is the repo-wide guard: any test file
+// that defines a golden -update flag and touches the numeric extractor
+// stack must contain a FastMathForced check, so fixtures can never be
+// compared against (or regenerated from) the approximate path.
+func TestGoldenTestsGuardFastMath(t *testing.T) {
+	numeric := []string{
+		"repro/internal/hog", "repro/internal/napprox",
+		"repro/internal/parrot", "repro/internal/truenorth",
+	}
+	root := filepath.Join("..", "..")
+	checked := 0
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		text := string(src)
+		if !strings.Contains(text, `flag.Bool("update"`) {
+			return nil
+		}
+		uses := false
+		for _, pkg := range numeric {
+			if strings.Contains(text, `"`+pkg+`"`) || strings.Contains(path, filepath.FromSlash(strings.TrimPrefix(pkg, "repro/"))) {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			checked++
+			if !strings.Contains(text, "FastMathForced") {
+				t.Errorf("%s defines a golden -update flag over numeric packages but has no FastMathForced guard", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("guard walked no golden test files; path assumptions broken")
+	}
+}

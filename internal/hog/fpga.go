@@ -57,49 +57,75 @@ func (e *FPGAExtractor) CellGrid(img *imgproc.Image) [][][]float64 {
 // GridInto computes the fixed-point cell histograms of img into g,
 // reusing g's backing storage (identical values to CellGrid). Safe to
 // call concurrently on distinct grids.
+//
+// The pixel plane is quantized once into grid-owned scratch (the FPGA
+// receives 8-bit pixels, modeled as Q8.8 values in [0, 1]) and the
+// per-cell pass reads it with row-base offsets resolved per pixel row
+// instead of a clamping closure per neighbor. The float block plane is
+// prepared afterwards so DescriptorInto hits the fused path; block
+// normalization stays the float model of the published design, exact
+// regardless of FastMath.
 func (e *FPGAExtractor) GridInto(g *Grid, img *imgproc.Image) {
 	cs := e.cfg.CellSize
 	cx, cy := img.W/cs, img.H/cs
 	q := e.q
 	g.Reset(cx, cy, e.cfg.NBins)
-
-	// Quantize the image once; the FPGA receives 8-bit pixels which we
-	// model as Q8.8 values in [0, 1].
-	pix := make([]int64, img.W*img.H)
+	if cx == 0 || cy == 0 {
+		return
+	}
+	pix := g.fixedPlane(img.W * img.H)
 	for i, v := range img.Pix {
 		pix[i] = q.FromFloat(v)
 	}
-	at := func(x, y int) int64 {
-		if x < 0 {
-			x = 0
-		}
-		if x >= img.W {
-			x = img.W - 1
-		}
-		if y < 0 {
-			y = 0
-		}
-		if y >= img.H {
-			y = img.H - 1
-		}
-		return pix[y*img.W+x]
-	}
+	e.fixedCellPass(g, pix, img.W, img.H)
+	ref := Extractor{cfg: e.cfg}
+	ref.PrepareBlocks(g)
+}
 
-	hist := make([]int64, e.cfg.NBins)
+// fixedCellPass runs the Q-format gradient/magnitude/bin datapath over
+// every cell. Neighbor clamping happens at row granularity for y and
+// only at the image's outer columns for x.
+//
+//pcnn:hotpath
+func (e *FPGAExtractor) fixedCellPass(g *Grid, pix []int64, iw, ih int) {
+	cs := e.cfg.CellSize
+	cx, cy := g.CellsX, g.CellsY
+	q := e.q
+	nb := e.cfg.NBins
+	signed := e.cfg.Signed
+	var histArr [maxFixedBins]int64
+	hist := histArr[:nb]
 	for j := 0; j < cy; j++ {
 		for i := 0; i < cx; i++ {
 			for b := range hist {
 				hist[b] = 0
 			}
 			for y := j * cs; y < (j+1)*cs; y++ {
+				rowC := y * iw
+				yu := y - 1
+				if yu < 0 {
+					yu = 0
+				}
+				yd := y + 1
+				if yd >= ih {
+					yd = ih - 1
+				}
+				rowU, rowD := yu*iw, yd*iw
 				for x := i * cs; x < (i+1)*cs; x++ {
-					ix := q.Sub(at(x+1, y), at(x-1, y))
-					iy := q.Sub(at(x, y-1), at(x, y+1))
+					xl, xr := x-1, x+1
+					if xl < 0 {
+						xl = 0
+					}
+					if xr >= iw {
+						xr = iw - 1
+					}
+					ix := q.Sub(pix[rowC+xr], pix[rowC+xl])
+					iy := q.Sub(pix[rowU+x], pix[rowD+x])
 					if ix == 0 && iy == 0 {
 						continue
 					}
 					mag := q.Sqrt(q.Add(q.Mul(ix, ix), q.Mul(iy, iy)))
-					bin := fixed.Atan2Bin(iy, ix, e.cfg.NBins, e.cfg.Signed)
+					bin := fixed.Atan2Bin(iy, ix, nb, signed)
 					hist[bin] = q.Add(hist[bin], mag)
 				}
 			}
@@ -110,6 +136,10 @@ func (e *FPGAExtractor) GridInto(g *Grid, img *imgproc.Image) {
 		}
 	}
 }
+
+// maxFixedBins bounds the on-stack histogram of the fixed-point cell
+// pass; NewFPGAExtractor pins NBins to 9, well inside it.
+const maxFixedBins = 32
 
 // Descriptor computes the full fixed-point window descriptor. Block L2
 // normalization is performed in floating point (the FPGA design uses a

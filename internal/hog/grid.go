@@ -9,16 +9,61 @@ import "fmt"
 // returned: one backing array instead of CellsY*CellsX small slices,
 // reusable across pyramid levels and images via Reset.
 //
+// Beyond the cell histograms a Grid owns the reusable kernel scratch of
+// the blocked extractor passes (the SoA magnitude/bin/fraction planes
+// and the fixed-point pixel plane) and, after an extractor's
+// PrepareBlocks, a normalized per-block descriptor plane that
+// DescriptorInto copies windows out of. All of that derived state is
+// keyed and validity-checked, so a Grid filled by hand (Reset + direct
+// Data writes) simply falls back to the slower per-window path.
+// Callers that mutate Data directly after an extractor filled the grid
+// must call InvalidateBlocks to drop the stale block plane.
+//
 // A Grid is owned by one scanning goroutine at a time while being
 // filled; once filled it is safe for concurrent readers (the detect
 // engine's window workers share one level grid read-only).
 type Grid struct {
 	CellsX, CellsY, Bins int
 	Data                 []float64
+
+	// SoA gradient planes for the blocked voting pass: per-pixel
+	// magnitude, lower bin index, and interpolation fraction over the
+	// covered cell region. Scratch only — contents are undefined
+	// between GridInto calls.
+	mag  []float64
+	bin  []int32
+	frac []float64
+
+	// fx is the fixed-point pixel plane reused by FPGAExtractor.
+	fx []int64
+
+	// scratch backs ScratchPlane for extractors outside this package.
+	scratch []float64
+
+	// blocks is the fused normalize+descriptor plane; see blockPlane.
+	blocks blockPlane
+}
+
+// blockPlane caches the block-normalized descriptor of every block
+// position of the grid: nby x nbx blocks of blockLen values each,
+// row-major ((by*nbx+bx)*blockLen). It is keyed by the extractor
+// parameters that determine its values, so DescriptorInto can verify
+// the plane was built for the asking configuration and fall back
+// otherwise.
+type blockPlane struct {
+	valid      bool
+	bins       int
+	blockCells int
+	norm       NormMode
+	fastMath   bool
+	nbx, nby   int
+	blockLen   int
+	data       []float64
 }
 
 // Reset resizes the grid to cellsX x cellsY cells of bins values,
-// reusing the backing array when it has capacity, and zeroes it.
+// reusing the backing array when it has capacity, and zeroes it. Any
+// previously prepared block plane is invalidated.
 func (g *Grid) Reset(cellsX, cellsY, bins int) {
 	n := cellsX * cellsY * bins
 	if cap(g.Data) < n {
@@ -30,6 +75,77 @@ func (g *Grid) Reset(cellsX, cellsY, bins int) {
 		}
 	}
 	g.CellsX, g.CellsY, g.Bins = cellsX, cellsY, bins
+	g.blocks.valid = false
+}
+
+// InvalidateBlocks drops the prepared block plane. Call it after
+// mutating Data directly (e.g. through Views) so DescriptorInto does
+// not serve stale normalized blocks.
+func (g *Grid) InvalidateBlocks() { g.blocks.valid = false }
+
+// ScratchPlane returns a reusable float64 scratch plane of at least n
+// values for extractor kernels to stage per-level intermediates
+// (quantized pixel planes and the like) without per-call allocation.
+// Contents are undefined; the plane aliases the grid, so it follows
+// the grid's single-writer ownership rules.
+func (g *Grid) ScratchPlane(n int) []float64 {
+	if cap(g.scratch) < n {
+		g.scratch = make([]float64, n)
+	}
+	return g.scratch[:n]
+}
+
+// fixedPlane returns the reusable int64 pixel plane of the fixed-point
+// datapath model, resized to at least n values.
+func (g *Grid) fixedPlane(n int) []int64 {
+	if cap(g.fx) < n {
+		g.fx = make([]int64, n)
+	}
+	return g.fx[:n]
+}
+
+// soaPlanes returns the gradient SoA planes (magnitude, lower bin,
+// fraction) resized to at least n values. Contents are undefined.
+func (g *Grid) soaPlanes(n int) (mag []float64, bin []int32, frac []float64) {
+	if cap(g.mag) < n {
+		g.mag = make([]float64, n)
+	}
+	if cap(g.bin) < n {
+		g.bin = make([]int32, n)
+	}
+	if cap(g.frac) < n {
+		g.frac = make([]float64, n)
+	}
+	return g.mag[:n], g.bin[:n], g.frac[:n]
+}
+
+// ensureBlocks sizes the block plane for nby x nbx blocks of blockLen
+// values, reusing its backing array, and records the key under which
+// it is being built. The plane stays invalid until the builder marks
+// it; a panic mid-build therefore cannot leave a half-built plane
+// serving descriptors.
+func (g *Grid) ensureBlocks(nbx, nby, blockLen, bins, blockCells int, norm NormMode, fastMath bool) []float64 {
+	n := nbx * nby * blockLen
+	if cap(g.blocks.data) < n {
+		g.blocks.data = make([]float64, n)
+	}
+	g.blocks.data = g.blocks.data[:n]
+	g.blocks.valid = false
+	g.blocks.bins, g.blocks.blockCells = bins, blockCells
+	g.blocks.norm, g.blocks.fastMath = norm, fastMath
+	g.blocks.nbx, g.blocks.nby, g.blocks.blockLen = nbx, nby, blockLen
+	return g.blocks.data
+}
+
+// blocksFor returns the prepared block plane if it is valid and was
+// built for exactly this (bins, blockCells, norm, fastMath) key.
+func (g *Grid) blocksFor(bins, blockCells int, norm NormMode, fastMath bool) *blockPlane {
+	p := &g.blocks
+	if !p.valid || p.bins != bins || p.blockCells != blockCells ||
+		p.norm != norm || p.fastMath != fastMath {
+		return nil
+	}
+	return p
 }
 
 // Hist returns the histogram of cell (cx, cy) as a view into Data.
@@ -41,6 +157,8 @@ func (g *Grid) Hist(cx, cy int) []float64 {
 // Views re-exposes the flat grid in the legacy [][][]float64 indexing
 // ([cy][cx][bin]); every histogram is a view sharing g.Data, so the
 // conversion costs CellsY+2 allocations instead of CellsY*CellsX.
+// Writing through the views mutates Data; call InvalidateBlocks after
+// doing so.
 func (g *Grid) Views() [][][]float64 {
 	rows := make([][][]float64, g.CellsY)
 	for j := 0; j < g.CellsY; j++ {

@@ -146,6 +146,16 @@ type Config struct {
 	// the paper's footnote 1 discusses this as the aliasing
 	// mitigation its approximations elide).
 	SpatialInterp bool
+	// FastMath trades bit-identity with the historical per-pixel code
+	// for speed: gradient magnitudes via sqrt(ix²+iy²) instead of
+	// math.Hypot, orientation binning via a polynomial atan2 and a
+	// reciprocal multiply (VoteMagnitudeInterp only — discrete voting
+	// modes keep exact binning), and block normalization via one
+	// reciprocal instead of per-element divides. Every descriptor
+	// component stays within ε of the exact path (see fastmath.go and
+	// the differential test); golden fixtures must not be generated or
+	// checked with it enabled.
+	FastMath bool
 }
 
 // Reference returns the Dalal-Triggs-style configuration used for the
@@ -158,6 +168,7 @@ func Reference() Config {
 		BlockCells: 2, BlockStride: 1,
 		WindowW: 64, WindowH: 128,
 		CountThreshold: 0.02,
+		FastMath:       FastMathForced(),
 	}
 }
 
@@ -286,27 +297,45 @@ func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
 // reusing g's backing storage. It is the allocation-lean form of
 // CellGrid (identical values) and is safe to call concurrently on
 // distinct grids.
+//
+// The non-spatial path runs as two blocked kernels over reusable SoA
+// planes — one gradient+binning sweep over the pixels, one row-run
+// histogram accumulation — instead of the historical per-pixel
+// vote-call chain; the accumulation visits each cell's pixels in the
+// same raster order as the per-pixel code, so the float summation
+// order (and therefore every histogram bit) is unchanged. GridInto
+// also prepares the fused normalize+descriptor block plane that
+// DescriptorInto serves windows from (see PrepareBlocks).
 func (e *Extractor) GridInto(g *Grid, img *imgproc.Image) {
 	cs := e.cfg.CellSize
 	cx, cy := img.W/cs, img.H/cs
 	g.Reset(cx, cy, e.cfg.NBins)
-	grad := imgproc.ComputeGradient(img)
-	if !e.cfg.SpatialInterp {
-		for j := 0; j < cy; j++ {
-			for i := 0; i < cx; i++ {
-				hist := g.Hist(i, j)
-				for y := j * cs; y < (j+1)*cs; y++ {
-					for x := i * cs; x < (i+1)*cs; x++ {
-						mag, ang := grad.MagAngle(x, y)
-						e.vote(hist, mag, ang)
-					}
-				}
-			}
-		}
+	if cx == 0 || cy == 0 {
 		return
 	}
-	// Full Dalal-Triggs: each pixel's vote is split bilinearly among
-	// the four cells whose centers surround it.
+	if e.cfg.SpatialInterp {
+		e.gridIntoSpatial(g, img)
+	} else {
+		w, h := cx*cs, cy*cs
+		mag, bin, frac := g.soaPlanes(w * h)
+		if e.cfg.FastMath && e.cfg.Voting == VoteMagnitudeInterp {
+			e.gradBinPassFast(img, w, h, mag, bin, frac)
+		} else {
+			e.gradBinPass(img, w, h, mag, bin, frac)
+		}
+		e.accumulateCells(g, w, mag, bin, frac)
+	}
+	e.PrepareBlocks(g)
+}
+
+// gridIntoSpatial is the full Dalal-Triggs voting pass: each pixel's
+// vote is split bilinearly among the four cells whose centers surround
+// it. Cross-cell splitting defeats row-run blocking (one pixel updates
+// up to four histograms), so this path keeps the per-pixel structure.
+func (e *Extractor) gridIntoSpatial(g *Grid, img *imgproc.Image) {
+	cs := e.cfg.CellSize
+	cx, cy := g.CellsX, g.CellsY
+	grad := imgproc.ComputeGradient(img)
 	half := float64(cs) / 2
 	for y := 0; y < cy*cs; y++ {
 		for x := 0; x < cx*cs; x++ {
@@ -339,26 +368,323 @@ func (e *Extractor) GridInto(g *Grid, img *imgproc.Image) {
 	}
 }
 
+// gradBinPass is the exact single-sweep gradient+binning kernel: for
+// every pixel of the w x h cell-covered region it writes the gradient
+// magnitude, lower orientation bin, and interpolation fraction into
+// the SoA planes. Per-pixel arithmetic is exactly the historical
+// chain (centered differences with replicate padding, math.Hypot,
+// math.Atan2, binOf with the bin width hoisted to the same
+// precomputed value), so downstream accumulation is bit-identical to
+// the per-pixel vote calls. Pixels with zero magnitude store bin 0
+// and magnitude +0, which accumulate as exact no-ops.
+//
+//pcnn:hotpath
+func (e *Extractor) gradBinPass(img *imgproc.Image, w, h int, mag []float64, bin []int32, frac []float64) {
+	pix := img.Pix
+	iw, ih := img.W, img.H
+	nb := e.cfg.NBins
+	nbF := float64(nb)
+	span := 360.0
+	if !e.cfg.Signed {
+		span = 180.0
+	}
+	binW := span / nbF
+	signed := e.cfg.Signed
+	for y := 0; y < h; y++ {
+		rowC := y * iw
+		yu := y - 1
+		if yu < 0 {
+			yu = 0
+		}
+		yd := y + 1
+		if yd >= ih {
+			yd = ih - 1
+		}
+		rowU, rowD := yu*iw, yd*iw
+		out := y * w
+		// Columns needing an x-clamp: x=0 always; x=w-1 only when the
+		// cell region spans the full image width.
+		xHi := w
+		if w == iw {
+			xHi = w - 1
+		}
+		for x := 0; x < w; x++ {
+			xl, xr := x-1, x+1
+			if x == 0 {
+				xl = 0
+			}
+			if x >= xHi {
+				xr = iw - 1
+			}
+			ixv := pix[rowC+xr] - pix[rowC+xl]
+			iyv := pix[rowU+x] - pix[rowD+x]
+			m := math.Hypot(ixv, iyv)
+			ang := math.Atan2(iyv, ixv)
+			deg := ang * 180 / math.Pi
+			if deg < 0 {
+				deg += 360
+			}
+			if !signed && deg >= 180 {
+				deg -= 180
+			}
+			fb := deg / binW
+			if fb >= nbF {
+				fb -= nbF
+			}
+			idx := out + x
+			mag[idx] = m
+			bin[idx] = int32(int(fb) % nb)
+			frac[idx] = fb - math.Floor(fb)
+		}
+	}
+}
+
+// gradBinPassFast is the FastMath variant of gradBinPass: sqrt of the
+// sum of squares instead of math.Hypot, polynomial atan2, and a
+// multiply by the precomputed bins-per-degree reciprocal instead of a
+// divide. Only used for VoteMagnitudeInterp, where the descriptor is
+// continuous in the angle so the ~1e-7 rad binning error stays an ε
+// perturbation (discrete voting modes would flip whole votes across
+// bin boundaries).
+//
+//pcnn:hotpath
+func (e *Extractor) gradBinPassFast(img *imgproc.Image, w, h int, mag []float64, bin []int32, frac []float64) {
+	pix := img.Pix
+	iw, ih := img.W, img.H
+	nb := e.cfg.NBins
+	nbF := float64(nb)
+	span := 360.0
+	if !e.cfg.Signed {
+		span = 180.0
+	}
+	invBinW := nbF / span
+	const degPerRad = 180 / math.Pi
+	signed := e.cfg.Signed
+	for y := 0; y < h; y++ {
+		rowC := y * iw
+		yu := y - 1
+		if yu < 0 {
+			yu = 0
+		}
+		yd := y + 1
+		if yd >= ih {
+			yd = ih - 1
+		}
+		rowU, rowD := yu*iw, yd*iw
+		out := y * w
+		xHi := w
+		if w == iw {
+			xHi = w - 1
+		}
+		for x := 0; x < w; x++ {
+			xl, xr := x-1, x+1
+			if x == 0 {
+				xl = 0
+			}
+			if x >= xHi {
+				xr = iw - 1
+			}
+			ixv := pix[rowC+xr] - pix[rowC+xl]
+			iyv := pix[rowU+x] - pix[rowD+x]
+			m := math.Sqrt(ixv*ixv + iyv*iyv)
+			deg := fastAtan2(iyv, ixv) * degPerRad
+			if deg < 0 {
+				deg += 360
+			}
+			if !signed && deg >= 180 {
+				deg -= 180
+			}
+			fb := deg * invBinW
+			if fb >= nbF {
+				fb -= nbF
+			}
+			if fb < 0 {
+				fb = 0
+			}
+			lo := int(fb)
+			if lo >= nb {
+				lo = nb - 1
+			}
+			idx := out + x
+			mag[idx] = m
+			bin[idx] = int32(lo)
+			frac[idx] = fb - float64(lo)
+		}
+	}
+}
+
+// accumulateCells folds the SoA planes into the per-cell histograms,
+// walking each plane row-run at a time: for every cell row the pixel
+// rows are consumed left to right, so each histogram receives its
+// pixels' votes in exactly the raster order of the per-pixel code
+// (float summation order per accumulator is preserved — interleaving
+// between distinct histograms cannot change any individual sum). The
+// voting-mode switch is hoisted out of the pixel loops.
+//
+//pcnn:hotpath
+func (e *Extractor) accumulateCells(g *Grid, w int, mag []float64, bin []int32, frac []float64) {
+	cs, nb := e.cfg.CellSize, e.cfg.NBins
+	cx, cy := g.CellsX, g.CellsY
+	switch e.cfg.Voting {
+	case VoteMagnitudeInterp:
+		for j := 0; j < cy; j++ {
+			histRow := g.Data[j*cx*nb : (j+1)*cx*nb]
+			for y := j * cs; y < (j+1)*cs; y++ {
+				row := y * w
+				for i := 0; i < cx; i++ {
+					hist := histRow[i*nb : i*nb+nb]
+					for x := i * cs; x < (i+1)*cs; x++ {
+						idx := row + x
+						m := mag[idx]
+						lo := int(bin[idx])
+						t := frac[idx]
+						hi := lo + 1
+						if hi == nb {
+							hi = 0
+						}
+						hist[lo] += m * (1 - t)
+						hist[hi] += m * t
+					}
+				}
+			}
+		}
+	case VoteMagnitude:
+		for j := 0; j < cy; j++ {
+			histRow := g.Data[j*cx*nb : (j+1)*cx*nb]
+			for y := j * cs; y < (j+1)*cs; y++ {
+				row := y * w
+				for i := 0; i < cx; i++ {
+					hist := histRow[i*nb : i*nb+nb]
+					for x := i * cs; x < (i+1)*cs; x++ {
+						idx := row + x
+						hist[bin[idx]] += mag[idx]
+					}
+				}
+			}
+		}
+	case VoteCount:
+		thr := e.cfg.CountThreshold
+		for j := 0; j < cy; j++ {
+			histRow := g.Data[j*cx*nb : (j+1)*cx*nb]
+			for y := j * cs; y < (j+1)*cs; y++ {
+				row := y * w
+				for i := 0; i < cx; i++ {
+					hist := histRow[i*nb : i*nb+nb]
+					for x := i * cs; x < (i+1)*cs; x++ {
+						idx := row + x
+						if m := mag[idx]; m != 0 && m >= thr {
+							hist[bin[idx]]++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// PrepareBlocks builds (or rebuilds) g's fused normalize+descriptor
+// block plane under this extractor's configuration: the
+// block-normalized vector of every block position of the grid, laid
+// out row-major so DescriptorInto can emit a window descriptor as a
+// handful of contiguous copies. Per-block normalization depends only
+// on the block's own cells, never on which window reads it, so the
+// plane's values are bit-identical to normalizing inside each window.
+// GridInto calls this automatically; call it manually only for grids
+// filled by other means.
+func (e *Extractor) PrepareBlocks(g *Grid) {
+	bc := e.cfg.BlockCells
+	nbx, nby := g.CellsX-bc+1, g.CellsY-bc+1
+	if nbx <= 0 || nby <= 0 || g.Bins != e.cfg.NBins {
+		g.blocks.valid = false
+		return
+	}
+	blockLen := bc * bc * g.Bins
+	data := g.ensureBlocks(nbx, nby, blockLen, e.cfg.NBins, bc, e.cfg.Norm, e.cfg.FastMath)
+	e.buildBlocks(g, data, nbx, nby, bc, blockLen)
+	g.blocks.valid = true
+}
+
+// buildBlocks is the fused copy+normalize kernel behind PrepareBlocks:
+// each block gathers its cell rows (contiguous in the flat grid) and
+// is normalized in place in its final position — no per-window
+// temporaries.
+//
+//pcnn:hotpath
+func (e *Extractor) buildBlocks(g *Grid, data []float64, nbx, nby, bc, blockLen int) {
+	nb := g.Bins
+	cx := g.CellsX
+	rowLen := bc * nb
+	fast := e.cfg.FastMath
+	mode := e.cfg.Norm
+	off := 0
+	for by := 0; by < nby; by++ {
+		for bx := 0; bx < nbx; bx++ {
+			dst := data[off : off+blockLen]
+			for j := 0; j < bc; j++ {
+				src := ((by+j)*cx + bx) * nb
+				copy(dst[j*rowLen:(j+1)*rowLen], g.Data[src:src+rowLen])
+			}
+			if fast {
+				applyNormFast(mode, dst)
+			} else {
+				applyNorm(mode, dst)
+			}
+			off += blockLen
+		}
+	}
+}
+
 // CellHistogram computes the histogram of a single cell supplied with a
 // one-pixel border: the input must be (CellSize+2) pixels square, and
 // gradients are evaluated on the interior CellSize x CellSize region so
 // every derivative uses true neighbors (the paper feeds 10x10 pixels
 // per 8x8 cell, Sec. 4).
 func (e *Extractor) CellHistogram(cell *imgproc.Image) ([]float64, error) {
-	cs := e.cfg.CellSize
-	if cell.W != cs+2 || cell.H != cs+2 {
-		return nil, fmt.Errorf("hog: cell must be %dx%d (cell+border), got %dx%d",
-			cs+2, cs+2, cell.W, cell.H)
-	}
-	g := imgproc.ComputeGradient(cell)
 	hist := make([]float64, e.cfg.NBins)
-	for y := 1; y <= cs; y++ {
-		for x := 1; x <= cs; x++ {
-			mag, ang := g.MagAngle(x, y)
-			e.vote(hist, mag, ang)
-		}
+	if err := e.CellHistogramInto(hist, cell); err != nil {
+		return nil, err
 	}
 	return hist, nil
+}
+
+// CellHistogramInto is CellHistogram without the allocations: it
+// overwrites hist (which must be NBins long) with the cell's
+// histogram, computing the interior gradients inline instead of
+// materializing whole-patch derivative planes. Values are identical
+// to CellHistogram.
+func (e *Extractor) CellHistogramInto(hist []float64, cell *imgproc.Image) error {
+	cs := e.cfg.CellSize
+	if cell.W != cs+2 || cell.H != cs+2 {
+		return fmt.Errorf("hog: cell must be %dx%d (cell+border), got %dx%d",
+			cs+2, cs+2, cell.W, cell.H)
+	}
+	if len(hist) != e.cfg.NBins {
+		return fmt.Errorf("hog: hist has %d bins, want %d", len(hist), e.cfg.NBins)
+	}
+	for i := range hist {
+		hist[i] = 0
+	}
+	e.cellVotePass(hist, cell)
+	return nil
+}
+
+// cellVotePass votes the interior pixels of a bordered cell patch into
+// hist. Interior pixels always have true neighbors, so the centered
+// differences read the pixel plane directly.
+//
+//pcnn:hotpath
+func (e *Extractor) cellVotePass(hist []float64, cell *imgproc.Image) {
+	cs := e.cfg.CellSize
+	w := cell.W
+	pix := cell.Pix
+	for y := 1; y <= cs; y++ {
+		row := y * w
+		for x := 1; x <= cs; x++ {
+			ix := pix[row+x+1] - pix[row+x-1]
+			iy := pix[row-w+x] - pix[row+w+x]
+			e.vote(hist, math.Hypot(ix, iy), math.Atan2(iy, ix))
+		}
+	}
 }
 
 // DescriptorFromGrid assembles a window descriptor from the cell grid
@@ -380,7 +706,11 @@ func (e *Extractor) DescriptorFromGrid(grid [][][]float64) ([]float64, error) {
 					out = append(out, grid[by+j][bx+i]...)
 				}
 			}
-			applyNorm(e.cfg.Norm, out[start:])
+			if e.cfg.FastMath {
+				applyNormFast(e.cfg.Norm, out[start:])
+			} else {
+				applyNorm(e.cfg.Norm, out[start:])
+			}
 		}
 	}
 	return out, nil
@@ -427,6 +757,12 @@ func (e *Extractor) DescriptorAt(grid [][][]float64, cellX, cellY int) ([]float6
 // has capacity (append into dst[:0] of a per-worker scratch buffer).
 // On error dst is returned unchanged.
 //
+// When g carries a block plane prepared under this configuration
+// (GridInto builds one), the descriptor is emitted as contiguous
+// copies of pre-normalized blocks — the fused fast path. Grids filled
+// by other means fall back to per-window assembly with identical
+// values.
+//
 //pcnn:hotpath
 func (e *Extractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]float64, error) {
 	cx, cy := e.cfg.CellsX(), e.cfg.CellsY()
@@ -434,6 +770,26 @@ func (e *Extractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]
 		return dst, err
 	}
 	bc, bs := e.cfg.BlockCells, e.cfg.BlockStride
+	if p := g.blocksFor(e.cfg.NBins, bc, e.cfg.Norm, e.cfg.FastMath); p != nil {
+		if bs == 1 {
+			// Stride-1 block rows are contiguous in the plane: one copy
+			// per block row instead of one per cell.
+			rowLen := (cx - bc + 1) * p.blockLen
+			for by := 0; by+bc <= cy; by++ {
+				off := ((cellY+by)*p.nbx + cellX) * p.blockLen
+				dst = append(dst, p.data[off:off+rowLen]...)
+			}
+		} else {
+			for by := 0; by+bc <= cy; by += bs {
+				rowOff := (cellY + by) * p.nbx
+				for bx := 0; bx+bc <= cx; bx += bs {
+					off := (rowOff + cellX + bx) * p.blockLen
+					dst = append(dst, p.data[off:off+p.blockLen]...)
+				}
+			}
+		}
+		return dst, nil
+	}
 	for by := 0; by+bc <= cy; by += bs {
 		for bx := 0; bx+bc <= cx; bx += bs {
 			start := len(dst)
@@ -442,7 +798,12 @@ func (e *Extractor) DescriptorInto(dst []float64, g *Grid, cellX, cellY int) ([]
 					dst = append(dst, g.Hist(cellX+bx+i, cellY+by+j)...)
 				}
 			}
-			applyNorm(e.cfg.Norm, dst[start:])
+			norm := dst[start:]
+			if e.cfg.FastMath {
+				applyNormFast(e.cfg.Norm, norm)
+			} else {
+				applyNorm(e.cfg.Norm, norm)
+			}
 		}
 	}
 	return dst, nil

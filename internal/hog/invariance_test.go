@@ -88,6 +88,14 @@ func TestDescriptorContrastInvarianceWithL2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The exact path is contrast-invariant to float rounding; the
+	// FastMath path (picked up when PCNN_FASTMATH forces it through
+	// Reference) only to its ε contract, so the property keeps holding
+	// there at the looser bound.
+	tol := 1e-9
+	if e.Config().FastMath {
+		tol = 1e-6
+	}
 	f := func(seed uint8) bool {
 		img := imgproc.New(64, 128)
 		s := uint64(seed) + 11
@@ -108,7 +116,7 @@ func TestDescriptorContrastInvarianceWithL2(t *testing.T) {
 			return false
 		}
 		for i := range d0 {
-			if math.Abs(d0[i]-d1[i]) > 1e-9 {
+			if math.Abs(d0[i]-d1[i]) > tol {
 				return false
 			}
 		}

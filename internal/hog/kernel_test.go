@@ -1,0 +1,216 @@
+package hog
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/imgproc"
+)
+
+// gridIntoLegacy is a faithful test-only copy of the historical
+// per-pixel GridInto (non-spatial path): full-image gradient via
+// imgproc.ComputeGradient, then per-cell raster voting through the
+// unchanged vote method. The blocked SoA kernels must reproduce it
+// bit-for-bit on the default path.
+func gridIntoLegacy(e *Extractor, g *Grid, img *imgproc.Image) {
+	cs := e.cfg.CellSize
+	cx, cy := img.W/cs, img.H/cs
+	g.Reset(cx, cy, e.cfg.NBins)
+	grad := imgproc.ComputeGradient(img)
+	for j := 0; j < cy; j++ {
+		for i := 0; i < cx; i++ {
+			hist := g.Hist(i, j)
+			for y := j * cs; y < (j+1)*cs; y++ {
+				for x := i * cs; x < (i+1)*cs; x++ {
+					mag, ang := grad.MagAngle(x, y)
+					e.vote(hist, mag, ang)
+				}
+			}
+		}
+	}
+}
+
+// kernelConfigs spans the voting/bin/sign space the blocked kernels
+// must cover, all with the default exact path.
+func kernelConfigs(t *testing.T) map[string]*Extractor {
+	t.Helper()
+	out := map[string]*Extractor{}
+	add := func(name string, cfg Config) {
+		e, err := NewExtractor(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = e
+	}
+	ref := Reference()
+	ref.FastMath = false
+	add("interp-unsigned-9", ref)
+
+	signed := ref
+	signed.Signed = true
+	signed.NBins = 18
+	add("interp-signed-18", signed)
+
+	magOnly := ref
+	magOnly.Voting = VoteMagnitude
+	add("magnitude-unsigned-9", magOnly)
+
+	count := NApproxStyle()
+	count.FastMath = false
+	add("count-signed-18", count)
+
+	countZeroThr := count
+	countZeroThr.CountThreshold = 0
+	add("count-zero-threshold", countZeroThr)
+	return out
+}
+
+// TestBlockedKernelMatchesLegacy is the kernel differential: the
+// blocked gradient+binning / cell-accumulation passes must be
+// bit-identical to the historical per-pixel loop on every voting mode,
+// including images whose size is not a cell multiple, single-cell
+// images, and images too small to hold one cell.
+func TestBlockedKernelMatchesLegacy(t *testing.T) {
+	sizes := [][2]int{{64, 128}, {96, 160}, {17, 23}, {8, 8}, {10, 9}, {7, 7}}
+	for name, e := range kernelConfigs(t) {
+		for si, wh := range sizes {
+			img := noiseImage(wh[0], wh[1], int64(100+si))
+			var want, got Grid
+			gridIntoLegacy(e, &want, img)
+			e.GridInto(&got, img)
+			if got.CellsX != want.CellsX || got.CellsY != want.CellsY || got.Bins != want.Bins {
+				t.Fatalf("%s %dx%d: grid %dx%dx%d, want %dx%dx%d", name, wh[0], wh[1],
+					got.CellsX, got.CellsY, got.Bins, want.CellsX, want.CellsY, want.Bins)
+			}
+			for i := range want.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("%s %dx%d: Data[%d] = %v, legacy %v (bits differ)",
+						name, wh[0], wh[1], i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBlockPlaneMatchesFallback pins the fused descriptor path: the
+// pre-normalized block plane must serve bit-identical descriptors to
+// the per-window fallback assembly at every window position.
+func TestBlockPlaneMatchesFallback(t *testing.T) {
+	for _, norm := range []NormMode{NormL2, NormL2Hys, NormL1Sqrt, NormNone} {
+		cfg := Reference()
+		cfg.FastMath = false
+		cfg.Norm = norm
+		e, err := NewExtractor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := noiseImage(96, 160, 7)
+		var g Grid
+		e.GridInto(&g, img)
+		for gy := 0; gy+cfg.CellsY() <= g.CellsY; gy += 3 {
+			for gx := 0; gx+cfg.CellsX() <= g.CellsX; gx += 2 {
+				fast, err := e.DescriptorInto(nil, &g, gx, gy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.InvalidateBlocks()
+				slow, err := e.DescriptorInto(nil, &g, gx, gy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.PrepareBlocks(&g)
+				if len(fast) != len(slow) {
+					t.Fatalf("norm %v window (%d,%d): len %d vs %d", norm, gx, gy, len(fast), len(slow))
+				}
+				for i := range fast {
+					if math.Float64bits(fast[i]) != math.Float64bits(slow[i]) {
+						t.Fatalf("norm %v window (%d,%d): component %d = %v plane vs %v fallback",
+							norm, gx, gy, i, fast[i], slow[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCellHistogramIntoMatchesCellHistogram checks the Into variant
+// and its dimension/length validation.
+func TestCellHistogramIntoMatchesCellHistogram(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := noiseImage(10, 10, 3)
+	want, err := e.CellHistogram(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, e.Config().NBins)
+	for i := range got {
+		got[i] = math.NaN() // must be overwritten, not accumulated
+	}
+	if err := e.CellHistogramInto(got, cell); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("bin %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if err := e.CellHistogramInto(got[:3], cell); err == nil {
+		t.Fatal("short hist accepted")
+	}
+	if err := e.CellHistogramInto(got, noiseImage(9, 9, 3)); err == nil {
+		t.Fatal("wrong cell size accepted")
+	}
+}
+
+// TestViewsMutationFallsBack checks the staleness contract: writing
+// through Views plus InvalidateBlocks must change the served
+// descriptor (i.e. DescriptorInto does not keep serving the stale
+// plane).
+func TestViewsMutationFallsBack(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := noiseImage(64, 128, 5)
+	var g Grid
+	e.GridInto(&g, img)
+	before, err := e.DescriptorInto(nil, &g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = append([]float64(nil), before...)
+	views := g.Views()
+	for b := range views[0][0] {
+		views[0][0][b] += 10
+	}
+	g.InvalidateBlocks()
+	after, err := e.DescriptorInto(nil, &g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("descriptor unchanged after grid mutation + InvalidateBlocks")
+	}
+}
+
+func ExampleGrid_InvalidateBlocks() {
+	e, _ := NewExtractor(Reference())
+	img := imgproc.New(64, 128)
+	var g Grid
+	e.GridInto(&g, img)
+	g.Views()[0][0][0] = 1 // direct mutation...
+	g.InvalidateBlocks()   // ...must drop the prepared block plane
+	fmt.Println(len(g.Hist(0, 0)))
+	// Output: 9
+}

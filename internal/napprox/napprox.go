@@ -194,6 +194,47 @@ type Extractor struct {
 	cfg  Config
 	a, b []float64 // direction weights
 	asm  *hog.Extractor
+
+	// lut, when non-nil, is the exact argmax-vote lookup table over
+	// the quantized gradient domain: SpikeWindow-quantized pixels are
+	// integers in [0, SpikeWindow], so each gradient component lies in
+	// [-SpikeWindow, SpikeWindow] and the (2W+1)² table enumerates
+	// every (ix, iy) pair. Entries hold the winning bin or -1 for no
+	// vote, precomputed with the same float expressions votePixel
+	// evaluates — a bit-identical replacement for the per-pixel argmax
+	// scan, not an approximation. Immutable after New.
+	lut  []int8
+	lutW int
+}
+
+// maxLUTSpikeWindow caps the quantized domain the argmax LUT
+// enumerates: (2·128+1)² single-byte entries is 64 KiB, past which the
+// table stops paying for itself against the NBins-term scan.
+const maxLUTSpikeWindow = 128
+
+// buildArgmaxLUT enumerates votePixel's VoteArgmax decision for every
+// quantized (ix, iy) gradient pair.
+func buildArgmaxLUT(cfg Config, a, b []float64) []int8 {
+	w := cfg.SpikeWindow
+	side := 2*w + 1
+	lut := make([]int8, side*side)
+	for ix := -w; ix <= w; ix++ {
+		for iy := -w; iy <= w; iy++ {
+			fx, fy := float64(ix), float64(iy)
+			best, bestV := 0, a[0]*fx+b[0]*fy
+			for k := 1; k < cfg.NBins; k++ {
+				if m := a[k]*fx + b[k]*fy; m > bestV {
+					best, bestV = k, m
+				}
+			}
+			e := int8(-1)
+			if bestV > 0 && bestV >= cfg.VoteThreshold {
+				e = int8(best)
+			}
+			lut[(ix+w)*side+(iy+w)] = e
+		}
+	}
+	return lut
 }
 
 // New validates cfg and returns an extractor. The norm argument
@@ -215,7 +256,13 @@ func New(cfg Config, norm hog.NormMode) (*Extractor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Extractor{cfg: cfg, a: a, b: b, asm: asm}, nil
+	e := &Extractor{cfg: cfg, a: a, b: b, asm: asm}
+	if cfg.Mode == VoteArgmax && cfg.SpikeWindow > 0 &&
+		cfg.SpikeWindow <= maxLUTSpikeWindow && cfg.NBins <= 127 {
+		e.lut = buildArgmaxLUT(cfg, a, b)
+		e.lutW = cfg.SpikeWindow
+	}
+	return e, nil
 }
 
 // Config returns the extractor configuration.
@@ -359,14 +406,29 @@ func (e *Extractor) raceVote(r, l, u, d float64, hist []float64) {
 // one-pixel border: input must be (CellSize+2) square, mirroring the
 // paper's 10x10-pixels-per-8x8-cell interface.
 func (e *Extractor) CellHistogram(cell *imgproc.Image) ([]float64, error) {
+	hist := make([]float64, e.cfg.NBins)
+	if err := e.CellHistogramInto(hist, cell); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// CellHistogramInto is CellHistogram without the histogram allocation:
+// hist (NBins long) is overwritten with the cell's votes.
+func (e *Extractor) CellHistogramInto(hist []float64, cell *imgproc.Image) error {
 	cs := e.cfg.CellSize
 	if cell.W != cs+2 || cell.H != cs+2 {
-		return nil, fmt.Errorf("napprox: cell must be %dx%d, got %dx%d",
+		return fmt.Errorf("napprox: cell must be %dx%d, got %dx%d",
 			cs+2, cs+2, cell.W, cell.H)
 	}
-	hist := make([]float64, e.cfg.NBins)
+	if len(hist) != e.cfg.NBins {
+		return fmt.Errorf("napprox: hist has %d bins, want %d", len(hist), e.cfg.NBins)
+	}
+	for i := range hist {
+		hist[i] = 0
+	}
 	e.voteCell(cell, 1, 1, hist)
-	return hist, nil
+	return nil
 }
 
 // CellGrid computes per-cell histograms over img, indexed [cy][cx][bin].
@@ -380,13 +442,104 @@ func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
 // backing storage (identical values to CellGrid). Calls on distinct
 // grids are concurrency-safe except in VoteRace mode with SpikeWindow
 // zero, whose full-precision fallback flips e.cfg.Mode in place.
+//
+// VoteArgmax runs as a blocked two-step kernel: the image is quantized
+// once into grid-owned scratch (each pixel was previously re-quantized
+// for every neighbor role, up to four times), then cells accumulate
+// from the plane — through the precomputed argmax LUT in the quantized
+// configurations, or the inline projection scan at full precision.
+// Values are bit-identical to the per-pixel voteCell path, which the
+// other vote modes still use. The descriptor block plane is prepared
+// at the end so DescriptorInto serves windows from contiguous
+// pre-normalized copies.
 func (e *Extractor) GridInto(g *hog.Grid, img *imgproc.Image) {
 	cs := e.cfg.CellSize
 	cx, cy := img.W/cs, img.H/cs
 	g.Reset(cx, cy, e.cfg.NBins)
+	if cx == 0 || cy == 0 {
+		return
+	}
+	if e.cfg.Mode == VoteArgmax {
+		qp := g.ScratchPlane(img.W * img.H)
+		e.quantizePlane(qp, img.Pix)
+		e.argmaxPass(g, qp, img.W, img.H)
+	} else {
+		for j := 0; j < cy; j++ {
+			for i := 0; i < cx; i++ {
+				e.voteCell(img, i*cs, j*cs, g.Hist(i, j))
+			}
+		}
+	}
+	e.asm.PrepareBlocks(g)
+}
+
+// quantizePlane quantizes every pixel once into qp.
+//
+//pcnn:hotpath
+func (e *Extractor) quantizePlane(qp, pix []float64) {
+	for i, v := range pix {
+		qp[i] = e.quantize(v)
+	}
+}
+
+// argmaxPass accumulates VoteArgmax cell histograms from the quantized
+// pixel plane, clamping neighbor reads at image borders exactly like
+// imgproc's replicate padding. With the LUT present the vote decision
+// is one table read per pixel; otherwise the projection scan of
+// votePixel runs inline with identical operation order.
+//
+//pcnn:hotpath
+func (e *Extractor) argmaxPass(g *hog.Grid, qp []float64, iw, ih int) {
+	cs := e.cfg.CellSize
+	cx, cy := g.CellsX, g.CellsY
+	nb := e.cfg.NBins
+	thr := e.cfg.VoteThreshold
+	lut, lutW := e.lut, e.lutW
+	side := 2*lutW + 1
+	a, b := e.a, e.b
 	for j := 0; j < cy; j++ {
 		for i := 0; i < cx; i++ {
-			e.voteCell(img, i*cs, j*cs, g.Hist(i, j))
+			hist := g.Hist(i, j)
+			for y := j * cs; y < (j+1)*cs; y++ {
+				rowC := y * iw
+				yu := y - 1
+				if yu < 0 {
+					yu = 0
+				}
+				yd := y + 1
+				if yd >= ih {
+					yd = ih - 1
+				}
+				rowU, rowD := yu*iw, yd*iw
+				for x := i * cs; x < (i+1)*cs; x++ {
+					xl, xr := x-1, x+1
+					if xl < 0 {
+						xl = 0
+					}
+					if xr >= iw {
+						xr = iw - 1
+					}
+					ix := qp[rowC+xr] - qp[rowC+xl]
+					iy := qp[rowU+x] - qp[rowD+x]
+					if lut != nil {
+						// Quantized gradients are integral floats in
+						// [-lutW, lutW]; the conversion is exact.
+						if v := lut[(int(ix)+lutW)*side+int(iy)+lutW]; v >= 0 {
+							hist[v]++
+						}
+						continue
+					}
+					best, bestV := 0, a[0]*ix+b[0]*iy
+					for k := 1; k < nb; k++ {
+						if m := a[k]*ix + b[k]*iy; m > bestV {
+							best, bestV = k, m
+						}
+					}
+					if bestV > 0 && bestV >= thr {
+						hist[best]++
+					}
+				}
+			}
 		}
 	}
 }

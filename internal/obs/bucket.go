@@ -53,6 +53,9 @@ var (
 	// CountBuckets covers small iteration tallies (training epochs to
 	// converge, mining rounds).
 	CountBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	// RatioBuckets covers [0, 1] efficiency ratios
+	// (detect.worker_utilization), denser near the healthy top end.
+	RatioBuckets = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
 )
 
 // NewBucketHistogram builds a histogram over the given upper bounds.

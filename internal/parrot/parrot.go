@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/eedn"
@@ -286,23 +286,40 @@ func (e *Extractor) infer(pix []float64) []float64 {
 // minimum is subtracted first — on TrueNorth this recalibration is
 // folded into the output neurons' firing thresholds.
 func (e *Extractor) CellHistogram(cell *imgproc.Image) ([]float64, error) {
+	hist := make([]float64, NBins)
+	if err := e.CellHistogramInto(hist, cell); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// CellHistogramInto is CellHistogram writing into a caller-provided
+// histogram (NBins long), with the median scratch kept on the stack.
+// Network inference still allocates internally.
+func (e *Extractor) CellHistogramInto(hist []float64, cell *imgproc.Image) error {
 	if cell.W != CellSide || cell.H != CellSide {
-		return nil, fmt.Errorf("parrot: cell must be %dx%d, got %dx%d",
+		return fmt.Errorf("parrot: cell must be %dx%d, got %dx%d",
 			CellSide, CellSide, cell.W, cell.H)
+	}
+	if len(hist) != NBins {
+		return fmt.Errorf("parrot: hist has %d bins, want %d", len(hist), NBins)
 	}
 	out := e.infer(cell.Pix)
 	// Median subtraction keeps the upper half of the confidence
 	// distribution, yielding sparse histogram-like features.
-	sorted := append(make([]float64, 0, NBins), out...)
-	sort.Float64s(sorted)
+	var sortedArr [NBins]float64
+	sorted := sortedArr[:]
+	copy(sorted, out)
+	slices.Sort(sorted)
 	med := sorted[NBins/2]
-	hist := make([]float64, NBins)
 	for k, v := range out {
 		if v > med {
 			hist[k] = (v - med) * 64
+		} else {
+			hist[k] = 0
 		}
 	}
-	return hist, nil
+	return nil
 }
 
 // CellGrid computes parrot histograms for every 8x8 cell of img, each
@@ -314,24 +331,41 @@ func (e *Extractor) CellGrid(img *imgproc.Image) [][][]float64 {
 }
 
 // GridInto computes parrot histograms for every cell of img into g,
-// reusing g's backing storage (identical values to CellGrid). Network
-// inference allocates internally, so this trims only the grid
-// plumbing; calls are NOT concurrency-safe when Stochastic (the shared
-// Rng serializes coding draws).
+// reusing g's backing storage (identical values to CellGrid). One
+// bordered patch is reused across cells and histograms are written
+// straight into the grid through CellHistogramInto, so the only
+// remaining allocations are inside network inference; calls are NOT
+// concurrency-safe when Stochastic (the shared Rng serializes coding
+// draws). The descriptor block plane is prepared at the end so
+// DescriptorInto serves windows from pre-normalized copies.
 func (e *Extractor) GridInto(g *hog.Grid, img *imgproc.Image) {
 	const cs = 8
 	cx, cy := img.W/cs, img.H/cs
 	g.Reset(cx, cy, NBins)
+	if cx == 0 || cy == 0 {
+		return
+	}
+	patch := imgproc.New(CellSide, CellSide)
 	for j := 0; j < cy; j++ {
 		for i := 0; i < cx; i++ {
-			patch := img.SubImage(i*cs-1, j*cs-1, CellSide, CellSide)
-			hist, err := e.CellHistogram(patch)
-			if err != nil {
-				// Unreachable: patch size is fixed.
-				//lint:allow errpanic SubImage always yields CellSide patches, so CellHistogram cannot fail here
+			fillPatch(patch, img, i*cs-1, j*cs-1)
+			if err := e.CellHistogramInto(g.Hist(i, j), patch); err != nil {
+				// Unreachable: patch and grid dimensions are fixed.
+				//lint:allow errpanic fillPatch always yields CellSide patches and Reset sizes NBins histograms, so CellHistogramInto cannot fail here
 				panic(err)
 			}
-			copy(g.Hist(i, j), hist)
+		}
+	}
+	e.asm.PrepareBlocks(g)
+}
+
+// fillPatch copies the CellSide x CellSide region of img at (x0, y0)
+// into dst with replicate padding, matching imgproc.SubImage.
+func fillPatch(dst, img *imgproc.Image, x0, y0 int) {
+	for y := 0; y < CellSide; y++ {
+		row := dst.Pix[y*CellSide : (y+1)*CellSide]
+		for x := range row {
+			row[x] = img.At(x0+x, y0+y)
 		}
 	}
 }
