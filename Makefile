@@ -51,12 +51,14 @@ bench-obs:
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -bench=. -benchmem -run '^$$'
 
 # bench-sim runs only the simulator engine benchmarks (dense vs sparse
-# Step at several activity levels, plus the NApprox corelet run) and
+# Step at several activity levels, the sharded tick, the >4096-core
+# multi-chip shard-count sweep, plus the NApprox corelet run) and
 # writes the telemetry snapshot — including the
-# truenorth.active_cores_per_tick histogram — to BENCH_sim.json,
+# truenorth.active_cores_per_tick histogram and the per-shard-count
+# truenorth.shard<N>.ticks_per_sec gauges — to BENCH_sim.json,
 # seeding the simulator perf trajectory.
 bench-sim:
-	BENCH_SIM_OUT=BENCH_sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse)|BenchmarkRunNApprox' -benchmem -run '^$$' .
+	BENCH_SIM_OUT=BENCH_sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse|Sharded)|BenchmarkMultiChipShardSweep|BenchmarkRunNApprox' -benchmem -run '^$$' .
 
 # bench-detect runs the detection-engine benchmarks (single image and
 # batch at workers 1/4/NumCPU, the 0-alloc inner scan loop, and the
@@ -78,16 +80,17 @@ bench-detect:
 BENCH_SLACK ?= 4
 bench-gate:
 	BENCH_DETECT_OUT=/tmp/pcnn-bench-detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner)|BenchmarkGridInto|BenchmarkDescriptorInto' -benchtime=1x -benchmem -run '^$$'
-	BENCH_SIM_OUT=/tmp/pcnn-bench-sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse)|BenchmarkRunNApprox' -benchtime=1x -benchmem -run '^$$' .
+	BENCH_SIM_OUT=/tmp/pcnn-bench-sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse|Sharded)|BenchmarkMultiChipShardSweep|BenchmarkRunNApprox' -benchtime=1x -benchmem -run '^$$' .
 	$(GO) run ./cmd/pcnn-bench -slack $(BENCH_SLACK) \
 		-baseline BENCH_detect.json -fresh /tmp/pcnn-bench-detect.json \
 		-baseline BENCH_sim.json -fresh /tmp/pcnn-bench-sim.json
 
 # fuzz smoke-runs each native fuzz target for FUZZTIME. go test allows
-# one -fuzz pattern per invocation, hence the two runs.
+# one -fuzz pattern per invocation, hence the separate runs.
 fuzz:
 	$(GO) test ./internal/truenorth -run '^$$' -fuzz '^FuzzModelRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/truenorth -run '^$$' -fuzz '^FuzzDenseSparseEquivalence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/truenorth -run '^$$' -fuzz '^FuzzShardEquivalence$$' -fuzztime $(FUZZTIME)
 
 clean:
 	rm -f BENCH_obs.json BENCH_sim.json BENCH_detect.json

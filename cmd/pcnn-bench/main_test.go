@@ -69,6 +69,38 @@ func TestCompareLatencyRegression(t *testing.T) {
 	}
 }
 
+// TestShardHistogramsInformational pins the carve-out for the shard
+// worker histograms: their observation mix depends on which models a
+// run simulated, so even a 10x swing must stay diagnostic, while the
+// shard<N>.ticks_per_sec gauges remain gated as throughput.
+func TestShardHistogramsInformational(t *testing.T) {
+	mk := func(scale float64) obs.Snapshot {
+		h := obs.NewBucketHistogram(obs.LatencyMSBuckets)
+		for i := 0; i < 1000; i++ {
+			h.Observe(scale * float64(i%100) / 10)
+		}
+		s := h.Summary()
+		return obs.Snapshot{
+			Gauges: map[string]float64{"truenorth.shard4.ticks_per_sec": 1000 * scale},
+			BucketHistograms: map[string]obs.BucketHistogramSummary{
+				"truenorth.shard_busy_ms":         s,
+				"truenorth.shard_barrier_wait_ms": s,
+			},
+		}
+	}
+	deltas := compare(mk(10), mk(1), 1)
+	for _, d := range deltas {
+		switch {
+		case d.Key == "truenorth.shard4.ticks_per_sec":
+			if !d.Regression {
+				t.Error("shard ticks_per_sec collapse must stay a gated regression")
+			}
+		case d.Regression:
+			t.Errorf("%s flagged as regression; shard worker histograms are informational", d.Key)
+		}
+	}
+}
+
 func TestCompareBucketHistogramQuantiles(t *testing.T) {
 	mk := func(scale float64) obs.Snapshot {
 		h := obs.NewBucketHistogram(obs.LatencyMSBuckets)

@@ -32,12 +32,18 @@ func main() {
 	ticks := flag.Int("ticks", 100, "ticks to simulate")
 	seed := flag.Int64("seed", 1, "stochastic threshold seed")
 	engineName := flag.String("engine", "sparse", "execution engine: dense or sparse (bit-identical; sparse skips idle cores)")
+	shards := flag.Int("shards", 1, "shard the core graph across this many worker goroutines (bit-identical to -shards 1)")
+	partName := flag.String("partition", "block", "shard partitioner: block (contiguous core ranges) or mincut (route-graph refinement)")
 	export := flag.String("export-napprox", "", "write the NApprox cell corelet as a model file and exit")
 	demo := flag.Bool("demo", false, "build the NApprox corelet, save, reload and run a ramp cell")
 	var tele obs.CLI
 	tele.Register(flag.CommandLine)
 	flag.Parse()
 	engine, err := truenorth.ParseEngine(*engineName)
+	if err != nil {
+		fail(err)
+	}
+	strategy, err := truenorth.ParsePartitionStrategy(*partName)
 	if err != nil {
 		fail(err)
 	}
@@ -51,7 +57,7 @@ func main() {
 		}
 	case *demo:
 		sp := obs.StartSpan("pcnn-sim.demo")
-		err := runDemo(engine)
+		err := runDemo(engine, *shards, strategy)
 		sp.End()
 		if err != nil {
 			_ = tele.Finish()
@@ -59,7 +65,7 @@ func main() {
 		}
 	case *modelPath != "":
 		sp := obs.StartSpan("pcnn-sim.run")
-		err := runModel(*modelPath, *spikesPath, *ticks, *seed, engine)
+		err := runModel(*modelPath, *spikesPath, *ticks, *seed, engine, *shards, strategy)
 		sp.End()
 		if err != nil {
 			_ = tele.Finish()
@@ -94,7 +100,7 @@ func exportNApprox(path string) error {
 	return nil
 }
 
-func runModel(modelPath, spikesPath string, ticks int, seed int64, engine truenorth.Engine) error {
+func runModel(modelPath, spikesPath string, ticks int, seed int64, engine truenorth.Engine, shards int, strategy truenorth.PartitionStrategy) error {
 	f, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -137,9 +143,16 @@ func runModel(modelPath, spikesPath string, ticks int, seed int64, engine trueno
 		}
 	}
 
-	sim, err := truenorth.NewSimulator(model, seed, truenorth.WithEngine(engine))
+	sim, err := truenorth.NewSimulator(model, seed, truenorth.WithEngine(engine),
+		truenorth.WithShards(shards), truenorth.WithPartitionStrategy(strategy))
 	if err != nil {
 		return err
+	}
+	defer sim.Close()
+	if sim.Shards() > 1 {
+		p := sim.Partition()
+		fmt.Printf("sharded: %d shards (%s), %d cross-shard route edges\n",
+			sim.Shards(), strategy, p.CrossEdges)
 	}
 	counts, err := sim.Run(ticks, func(t int) []int { return schedule[t] })
 	if err != nil {
@@ -157,7 +170,7 @@ func runModel(modelPath, spikesPath string, ticks int, seed int64, engine trueno
 	return nil
 }
 
-func runDemo(engine truenorth.Engine) error {
+func runDemo(engine truenorth.Engine, shards int, strategy truenorth.PartitionStrategy) error {
 	cfg := napprox.TrueNorthConfig()
 	mod, err := napprox.BuildCellModule(cfg)
 	if err != nil {
@@ -188,10 +201,12 @@ func runDemo(engine truenorth.Engine) error {
 	fmt.Printf("reloaded: %d cores\n", model.NumCores())
 
 	// Run a horizontal ramp cell through the reloaded model.
-	sim, err := truenorth.NewSimulator(model, 1, truenorth.WithEngine(engine))
+	sim, err := truenorth.NewSimulator(model, 1, truenorth.WithEngine(engine),
+		truenorth.WithShards(shards), truenorth.WithPartitionStrategy(strategy))
 	if err != nil {
 		return err
 	}
+	defer sim.Close()
 	cell := imgproc.New(10, 10)
 	for y := 0; y < 10; y++ {
 		for x := 0; x < 10; x++ {

@@ -49,9 +49,33 @@ var simEngine = truenorth.EngineSparse
 // running experiment).
 func SetSimulatorEngine(e truenorth.Engine) { simEngine = e }
 
-// newSimulator builds a simulator on the configured engine.
+// simShards / simPartition select the sharded execution mode for every
+// experiment simulator: the core graph is split across simShards
+// worker goroutines using the simPartition strategy. Sharded execution
+// is bit-identical to single-goroutine execution, so — like the engine
+// choice — this only affects speed; cmd/pcnn-eval exposes both as
+// -shards / -partition.
+var (
+	simShards    = 1
+	simPartition = truenorth.PartitionBlock
+)
+
+// SetSimulatorShards switches the shard count and partition strategy
+// used by subsequent experiment runs (process-wide; not safe to flip
+// concurrently with a running experiment). n <= 1 restores the
+// default single-goroutine mode.
+func SetSimulatorShards(n int, strategy truenorth.PartitionStrategy) {
+	simShards = n
+	simPartition = strategy
+}
+
+// newSimulator builds a simulator on the configured engine and shard
+// count. Callers should defer sim.Close() to join shard workers.
 func newSimulator(m *truenorth.Model, seed int64) (*truenorth.Simulator, error) {
-	return truenorth.NewSimulator(m, seed, truenorth.WithEngine(simEngine))
+	return truenorth.NewSimulator(m, seed,
+		truenorth.WithEngine(simEngine),
+		truenorth.WithShards(simShards),
+		truenorth.WithPartitionStrategy(simPartition))
 }
 
 // Config sizes an experiment run.
@@ -185,6 +209,7 @@ func publishCoreletActivity(cells int, seed int64) {
 	if err != nil {
 		return
 	}
+	defer sim.Close()
 	rng := rand.New(rand.NewSource(seed))
 	cell := imgproc.New(10, 10)
 	for i := 0; i < cells; i++ {
@@ -480,6 +505,7 @@ func HWValidation(n int, seed int64) (*HWValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 	swCfg := napprox.TrueNorthConfig()
 	swCfg.Mode = napprox.VoteRace
 	sw, err := napprox.New(swCfg, hog.NormNone)
@@ -591,6 +617,7 @@ func EnergyStudy(n int, seed int64) (*EnergyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 	rng := rand.New(rand.NewSource(seed))
 	cell := imgproc.New(10, 10)
 	var dynamicTotal, synTotal float64

@@ -60,15 +60,16 @@ func TestGoldenSpikeTrace(t *testing.T) {
 	}
 	for _, tc := range goldenCells {
 		t.Run(tc.name, func(t *testing.T) {
-			run := func(engine truenorth.Engine) (*CellModule, *truenorth.Trace, []float64) {
+			run := func(opts ...truenorth.Option) (*CellModule, *truenorth.Trace, []float64) {
 				mod, err := BuildCellModule(TrueNorthConfig())
 				if err != nil {
 					t.Fatal(err)
 				}
-				sim, err := truenorth.NewSimulator(mod.Model, 1, truenorth.WithEngine(engine))
+				sim, err := truenorth.NewSimulator(mod.Model, 1, opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
+				defer sim.Close()
 				tr := truenorth.NewTrace()
 				sim.SetTrace(tr)
 				side := mod.cellSize + 2
@@ -84,14 +85,23 @@ func TestGoldenSpikeTrace(t *testing.T) {
 				}
 				return mod, tr, hist
 			}
-			mod, trDense, histDense := run(truenorth.EngineDense)
-			_, trSparse, histSparse := run(truenorth.EngineSparse)
+			mod, trDense, histDense := run(truenorth.WithEngine(truenorth.EngineDense))
+			_, trSparse, histSparse := run(truenorth.WithEngine(truenorth.EngineSparse))
+			_, trShard, histShard := run(truenorth.WithEngine(truenorth.EngineSparse),
+				truenorth.WithShards(3), truenorth.WithPartitionStrategy(truenorth.PartitionMinCut))
 			if !reflect.DeepEqual(trDense.Events, trSparse.Events) {
 				t.Fatalf("engines diverged on %s: dense %d events, sparse %d",
 					tc.name, len(trDense.Events), len(trSparse.Events))
 			}
+			if !reflect.DeepEqual(trDense.Events, trShard.Events) {
+				t.Fatalf("sharded run diverged on %s: dense %d events, sharded %d",
+					tc.name, len(trDense.Events), len(trShard.Events))
+			}
 			if !reflect.DeepEqual(histDense, histSparse) {
 				t.Fatalf("engine histograms diverged: %v vs %v", histDense, histSparse)
+			}
+			if !reflect.DeepEqual(histDense, histShard) {
+				t.Fatalf("sharded histograms diverged: %v vs %v", histDense, histShard)
 			}
 
 			got := formatGoldenTrace(mod, trDense, histDense)
@@ -112,6 +122,10 @@ func TestGoldenSpikeTrace(t *testing.T) {
 			if !bytes.Equal(got, want) {
 				t.Errorf("spike trace drifted from golden %s:\n%s\nif the change is intended, regenerate with -update",
 					golden, firstTraceDiff(want, got))
+			}
+			if gotShard := formatGoldenTrace(mod, trShard, histShard); !bytes.Equal(gotShard, want) {
+				t.Errorf("sharded spike trace drifted from golden %s:\n%s",
+					golden, firstTraceDiff(want, gotShard))
 			}
 		})
 	}

@@ -17,9 +17,16 @@ import (
 // randomModel builds a valid model from the seeded rng. Geometry stays
 // small so 256-tick runs over ~50 models finish in well under a second.
 func randomModel(t *testing.T, rng *rand.Rand) *Model {
+	return randomModelN(t, rng, 4)
+}
+
+// randomModelN is randomModel with a configurable core-count ceiling;
+// the shard sweep uses larger models so high shard counts see real
+// cross-shard traffic instead of being clamped down to one core each.
+func randomModelN(t *testing.T, rng *rand.Rand, maxCores int) *Model {
 	t.Helper()
 	m := NewModel()
-	nCores := 1 + rng.Intn(4)
+	nCores := 1 + rng.Intn(maxCores)
 	type geom struct{ axons, neurons int }
 	geoms := make([]geom, nCores)
 	for c := 0; c < nCores; c++ {
@@ -173,6 +180,169 @@ func sparseSchedule(nInputs int, seed int64) func(int) []int {
 			}
 		}
 		return pins
+	}
+}
+
+// shardSweepCounts are the shard counts the sharded-equivalence
+// property tests sweep (1 exercises the clamp back to the unsharded
+// engine; 16 usually exceeds the core count and clamps to it). The
+// race lane runs a reduced sweep: the detector's slowdown is large and
+// the interleavings it cares about are the same at any shard count.
+func shardSweepCounts() []int {
+	if raceEnabled {
+		return []int{2, 8}
+	}
+	return []int{1, 2, 3, 8, 16}
+}
+
+// forceResetMode returns a copy-free mutation of m setting every
+// neuron's reset mode, so the sweep provably covers both hardware
+// reset behaviours rather than relying on the per-neuron coin flips.
+func forceResetMode(t *testing.T, m *Model, mode ResetMode) {
+	t.Helper()
+	for c := 0; c < m.NumCores(); c++ {
+		core := m.Core(c)
+		for n := 0; n < core.Neurons; n++ {
+			p := core.Neuron(n)
+			p.ResetMode = mode
+			if err := core.SetNeuron(n, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// shardedRun is engineRun on a sharded simulator: same outputs, with
+// the shard count and partition strategy applied and the workers
+// joined before returning.
+func shardedRun(t *testing.T, m *Model, seed int64, engine Engine, shards int,
+	strategy PartitionStrategy, ticks int, inputFn func(int) []int) ([]TraceEvent, []int, EnergyStats, [][]int32) {
+	t.Helper()
+	sim, err := NewSimulator(m, seed, WithEngine(engine), WithShards(shards), WithPartitionStrategy(strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	tr := NewTrace()
+	sim.SetTrace(tr)
+	counts, err := sim.Run(ticks, inputFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pots := make([][]int32, m.NumCores())
+	for c := 0; c < m.NumCores(); c++ {
+		core := m.Core(c)
+		pots[c] = make([]int32, core.Neurons)
+		for n := 0; n < core.Neurons; n++ {
+			pots[c][n] = core.Potential(n)
+		}
+	}
+	return tr.Events, counts, CollectEnergy(sim), pots
+}
+
+// TestShardedEquivalence is the shard-sweep property test: random
+// hostile models (stochastic neurons included), both reset modes
+// forced, across shard counts {1,2,3,8,16} and both partition
+// strategies, must produce spike-for-spike identical traces, output
+// counts, energy stats and final membrane potentials vs the
+// single-shard sparse engine. One shard count additionally runs the
+// dense engine sharded, covering the all-cores-scheduled path.
+func TestShardedEquivalence(t *testing.T) {
+	models, ticks := 50, 128
+	if raceEnabled {
+		models = 8
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < models; i++ {
+		modelSeed := rng.Int63()
+		noiseSeed := rng.Int63()
+		t.Run(fmt.Sprintf("model%02d", i), func(t *testing.T) {
+			for _, mode := range []ResetMode{ResetToValue, ResetSubtract} {
+				build := func() *Model {
+					m := randomModelN(t, rand.New(rand.NewSource(modelSeed)), 12)
+					forceResetMode(t, m, mode)
+					return m
+				}
+				mRef := build()
+				evR, ctR, enR, vR := engineRun(t, mRef, noiseSeed, EngineSparse, ticks,
+					sparseSchedule(mRef.NumInputs(), modelSeed))
+				for _, nsh := range shardSweepCounts() {
+					// Alternate partitioners across the sweep; identity
+					// must hold for any assignment.
+					strategy := PartitionBlock
+					if nsh%2 == 1 {
+						strategy = PartitionMinCut
+					}
+					engines := []Engine{EngineSparse}
+					if nsh == 3 {
+						engines = append(engines, EngineDense)
+					}
+					for _, eng := range engines {
+						mSh := build()
+						ev, ct, en, v := shardedRun(t, mSh, noiseSeed, eng, nsh, strategy, ticks,
+							sparseSchedule(mSh.NumInputs(), modelSeed))
+						if !reflect.DeepEqual(evR, ev) {
+							t.Fatalf("mode=%v shards=%d engine=%v: trace diverged (%d vs %d events, model seed %d)",
+								mode, nsh, eng, len(evR), len(ev), modelSeed)
+						}
+						if !reflect.DeepEqual(ctR, ct) {
+							t.Fatalf("mode=%v shards=%d engine=%v: output counts diverged: %v vs %v", mode, nsh, eng, ctR, ct)
+						}
+						if enR != en {
+							t.Fatalf("mode=%v shards=%d engine=%v: energy stats diverged: %+v vs %+v", mode, nsh, eng, enR, en)
+						}
+						if !reflect.DeepEqual(vR, v) {
+							t.Fatalf("mode=%v shards=%d engine=%v: final membrane potentials diverged (model seed %d)",
+								mode, nsh, eng, modelSeed)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEquivalenceAfterReset pins the sharded engine across the
+// run -> Reset -> rerun cycle the extraction pipelines use: both runs
+// must match the unsharded engine's corresponding runs exactly
+// (mailboxes, per-shard counters and ring lists all clear; per-core
+// noise streams keep their positions on every shard).
+func TestShardedEquivalenceAfterReset(t *testing.T) {
+	const ticks = 96
+	for _, nsh := range shardSweepCounts() {
+		t.Run(fmt.Sprintf("shards%d", nsh), func(t *testing.T) {
+			build := func() *Model {
+				return randomModelN(t, rand.New(rand.NewSource(11)), 12)
+			}
+			run := func(m *Model, opts ...Option) ([]TraceEvent, []TraceEvent) {
+				sim, err := NewSimulator(m, 99, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sim.Close()
+				in := sparseSchedule(m.NumInputs(), 11)
+				tr1 := NewTrace()
+				sim.SetTrace(tr1)
+				if _, err := sim.Run(ticks, in); err != nil {
+					t.Fatal(err)
+				}
+				sim.Reset()
+				tr2 := NewTrace()
+				sim.SetTrace(tr2)
+				if _, err := sim.Run(ticks, in); err != nil {
+					t.Fatal(err)
+				}
+				return tr1.Events, tr2.Events
+			}
+			r1, r2 := run(build())
+			s1, s2 := run(build(), WithShards(nsh), WithPartitionStrategy(PartitionMinCut))
+			if !reflect.DeepEqual(r1, s1) {
+				t.Fatalf("shards=%d: first runs diverged (%d vs %d events)", nsh, len(r1), len(s1))
+			}
+			if !reflect.DeepEqual(r2, s2) {
+				t.Fatalf("shards=%d: post-Reset runs diverged (%d vs %d events)", nsh, len(r2), len(s2))
+			}
+		})
 	}
 }
 

@@ -123,6 +123,84 @@ func FuzzModelRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzShardEquivalence extends the engine-equivalence fuzz contract to
+// the sharded engine: for arbitrary model bytes (anything LoadModel
+// accepts), an arbitrary shard count, tick count and input schedule,
+// the dense engine, the sparse engine, and the sparse engine sharded
+// must produce byte-identical traces, output counts and energy stats.
+// The shard count folds into [0, 2*ChipCores/256] before the
+// simulator's own clamp so the fuzzer exercises both the n<=1 and
+// n>NumCores edges; odd counts use the min-cut partitioner so both
+// partition strategies stay under fuzz.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(fuzzModelJSON(f), int64(1), uint8(3), uint8(40), []byte{0, 0, 1, 1, 5, 0, 9, 1})
+	f.Add(fuzzModelJSON(f), int64(-9), uint8(2), uint8(17), []byte{})
+	f.Add(fuzzModelJSON(f), int64(77), uint8(16), uint8(64), []byte{31, 0, 31, 1, 2, 1, 60, 0})
+	f.Add([]byte(`{"version":1,"cores":[{"axons":1,"neurons":1,"axon_types":[0],"params":[{"w":[1,-1,2,-2],"th":1}],"conn":[[1]]}],"routes":[[{"c":0,"a":0}]],"inputs":[{"c":0,"a":0}]}`),
+		int64(5), uint8(0), uint8(33), []byte{0, 0, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, shards uint8, nTicks uint8, schedule []byte) {
+		build := func() *Model {
+			m, err := LoadModel(bytes.NewReader(data))
+			if err != nil {
+				return nil
+			}
+			return m
+		}
+		probe := build()
+		if probe == nil {
+			return // rejected input is fine; panicking is not
+		}
+		ticks := 1 + int(nTicks)%96
+		nsh := int(shards) % 33
+		strategy := PartitionBlock
+		if nsh%2 == 1 {
+			strategy = PartitionMinCut
+		}
+		nIn := probe.NumInputs()
+		inputFn := func(tick int) []int {
+			if nIn == 0 {
+				return nil
+			}
+			var pins []int
+			for i := 0; i+1 < len(schedule); i += 2 {
+				if int(schedule[i])%ticks == tick {
+					pins = append(pins, int(schedule[i+1])%nIn)
+				}
+			}
+			return pins
+		}
+		run := func(opts ...Option) ([]TraceEvent, []int, EnergyStats) {
+			sim, err := NewSimulator(build(), seed, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sim.Close()
+			tr := NewTrace()
+			sim.SetTrace(tr)
+			counts, err := sim.Run(ticks, inputFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr.Events, counts, CollectEnergy(sim)
+		}
+		evD, ctD, enD := run(WithEngine(EngineDense))
+		evS, ctS, enS := run(WithEngine(EngineSparse))
+		evSh, ctSh, enSh := run(WithEngine(EngineSparse), WithShards(nsh), WithPartitionStrategy(strategy))
+		if !reflect.DeepEqual(evD, evS) {
+			t.Fatalf("dense/sparse traces diverged: %d vs %d events", len(evD), len(evS))
+		}
+		if !reflect.DeepEqual(evS, evSh) {
+			t.Fatalf("sparse/sharded(%d) traces diverged: %d vs %d events", nsh, len(evS), len(evSh))
+		}
+		if !reflect.DeepEqual(ctD, ctS) || !reflect.DeepEqual(ctS, ctSh) {
+			t.Fatalf("output counts diverged: dense %v sparse %v sharded %v", ctD, ctS, ctSh)
+		}
+		if enD != enS || enS != enSh {
+			t.Fatalf("energy stats diverged: dense %+v sparse %+v sharded %+v", enD, enS, enSh)
+		}
+	})
+}
+
 // FuzzDenseSparseEquivalence drives the fuzz-feature model with an
 // arbitrary input spike schedule decoded from the fuzz bytes and
 // asserts the two engines stay bit-identical: same trace, same output

@@ -1,0 +1,194 @@
+package truenorth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestParsePartitionStrategy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want PartitionStrategy
+		ok   bool
+	}{
+		{"block", PartitionBlock, true},
+		{"mincut", PartitionMinCut, true},
+		{"", 0, false},
+		{"Block", 0, false},
+		{"metis", 0, false},
+	} {
+		got, err := ParsePartitionStrategy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParsePartitionStrategy(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParsePartitionStrategy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if PartitionBlock.String() != "block" || PartitionMinCut.String() != "mincut" {
+		t.Error("PartitionStrategy.String does not round-trip flag names")
+	}
+}
+
+// checkPartitionInvariants asserts the structural contract every
+// strategy must satisfy: every core owned exactly once, Cores lists
+// ascending and consistent with Owner, shard sizes within the balance
+// cap, no shard empty.
+func checkPartitionInvariants(t *testing.T, m *Model, p Partition, wantShards int) {
+	t.Helper()
+	n := m.NumCores()
+	if got := p.Shards(); got != wantShards {
+		t.Fatalf("Shards() = %d, want %d", got, wantShards)
+	}
+	if len(p.Owner) != n {
+		t.Fatalf("len(Owner) = %d, want %d", len(p.Owner), n)
+	}
+	seen := make([]int, n)
+	capPerShard := 0
+	if wantShards > 0 {
+		capPerShard = (n + wantShards - 1) / wantShards
+	}
+	for k, cores := range p.Cores {
+		if n > 0 && len(cores) == 0 {
+			t.Errorf("shard %d is empty", k)
+		}
+		if len(cores) > capPerShard {
+			t.Errorf("shard %d holds %d cores, balance cap is %d", k, len(cores), capPerShard)
+		}
+		for i, c := range cores {
+			if i > 0 && cores[i-1] >= c {
+				t.Fatalf("shard %d core list not ascending: %v", k, cores)
+			}
+			if p.Owner[c] != k {
+				t.Fatalf("core %d in shard %d's list but Owner says %d", c, k, p.Owner[c])
+			}
+			seen[c]++
+		}
+	}
+	for c, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("core %d appears in %d shards, want 1", c, cnt)
+		}
+	}
+}
+
+// chainModel builds n single-neuron cores wired c -> c+1 (delay 1),
+// the layout where a contiguous block partition is provably optimal:
+// exactly shards-1 cross edges.
+func chainModel(t testing.TB, n int) *Model {
+	t.Helper()
+	m := NewModel()
+	for i := 0; i < n; i++ {
+		c, err := m.AddCore(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(0, 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if err := m.Route(i, 0, Target{Core: i + 1, Axon: 0, Delay: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Route(n-1, 0, Target{Core: ExternalCore, Axon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddInput(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPartitionBlockShape(t *testing.T) {
+	m := chainModel(t, 10)
+	p := PartitionModel(m, 4, PartitionBlock)
+	checkPartitionInvariants(t, m, p, 4)
+	// Contiguous ranges: owners must be non-decreasing in core ID.
+	for c := 1; c < len(p.Owner); c++ {
+		if p.Owner[c] < p.Owner[c-1] {
+			t.Fatalf("block partition not contiguous: owner[%d]=%d < owner[%d]=%d",
+				c, p.Owner[c], c-1, p.Owner[c-1])
+		}
+	}
+	if p.CrossEdges != 3 {
+		t.Errorf("chain of 10 over 4 blocks: CrossEdges = %d, want 3", p.CrossEdges)
+	}
+}
+
+func TestPartitionClamps(t *testing.T) {
+	m := chainModel(t, 3)
+	if p := PartitionModel(m, 0, PartitionBlock); p.Shards() != 1 {
+		t.Errorf("shards=0 clamped to %d, want 1", p.Shards())
+	}
+	if p := PartitionModel(m, 16, PartitionBlock); p.Shards() != 3 {
+		t.Errorf("shards=16 on 3 cores clamped to %d, want 3", p.Shards())
+	}
+	if p := PartitionModel(NewModel(), 8, PartitionMinCut); p.Shards() != 1 || len(p.Owner) != 0 {
+		t.Errorf("empty model: got %d shards, %d owners; want 1 empty shard", p.Shards(), len(p.Owner))
+	}
+}
+
+// TestPartitionMinCutImproves builds a model whose communication
+// structure fights the block partition — two tightly-coupled clusters
+// whose members interleave in core-ID order — and checks the refiner
+// recovers the cluster structure (fewer cross edges than block) while
+// keeping the invariants.
+func TestPartitionMinCutImproves(t *testing.T) {
+	m := NewModel()
+	const n = 8 // cores 0,2,4,6 form cluster A; 1,3,5,7 cluster B
+	for i := 0; i < n; i++ {
+		c, err := m.AddCore(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 2; a++ {
+			for nn := 0; nn < 2; nn++ {
+				if err := c.Connect(a, nn, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Dense intra-cluster wiring: every core's two neurons target the
+	// next two cores of the same parity, so a misplaced core feels a
+	// strong pull toward its cluster.
+	for i := 0; i < n; i++ {
+		if err := m.Route(i, 0, Target{Core: (i + 2) % n, Axon: 0, Delay: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Route(i, 1, Target{Core: (i + 4) % n, Axon: 1, Delay: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block := PartitionModel(m, 2, PartitionBlock)
+	mincut := PartitionModel(m, 2, PartitionMinCut)
+	checkPartitionInvariants(t, m, block, 2)
+	checkPartitionInvariants(t, m, mincut, 2)
+	if mincut.CrossEdges >= block.CrossEdges {
+		t.Errorf("mincut found %d cross edges, block %d; want an improvement",
+			mincut.CrossEdges, block.CrossEdges)
+	}
+	if mincut.CrossEdges != 0 {
+		t.Errorf("interleaved two-cluster model: mincut left %d cross edges, want 0", mincut.CrossEdges)
+	}
+}
+
+// TestPartitionDeterministic pins that both strategies are pure
+// functions of (model, shards): re-partitioning an identically built
+// random model yields identical assignments.
+func TestPartitionDeterministic(t *testing.T) {
+	for _, strategy := range []PartitionStrategy{PartitionBlock, PartitionMinCut} {
+		m1 := randomModelN(t, rand.New(rand.NewSource(42)), 12)
+		m2 := randomModelN(t, rand.New(rand.NewSource(42)), 12)
+		p1 := PartitionModel(m1, 3, strategy)
+		p2 := PartitionModel(m2, 3, strategy)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("%v partition not deterministic: %+v vs %+v", strategy, p1, p2)
+		}
+		checkPartitionInvariants(t, m1, p1, p1.Shards())
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package truenorth
+
+// raceEnabled mirrors race_enabled_test.go for normal builds.
+const raceEnabled = false

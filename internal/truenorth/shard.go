@@ -1,0 +1,419 @@
+package truenorth
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Sharded execution: the core graph is partitioned across N shards
+// (partition.go), each shard owns its cores' full mutable state — ring
+// buffers, dirty flags, membrane potentials, noise streams, event
+// counters — and a persistent worker goroutine advances all shards in
+// lockstep behind a per-tick barrier driven by Simulator.stepSharded.
+//
+// The bit-identity argument, piece by piece:
+//
+//   - Owner-only writes. A core's state is written exclusively by its
+//     owner shard: same-shard spike deliveries go straight into the
+//     delay ring; cross-shard spikes travel as spikeMsg values through
+//     per-(src,dst) mailboxes and are applied to the ring by the
+//     *destination* shard when it drains its inboxes at the start of
+//     the next tick. The main goroutine only touches shared state
+//     between barriers (injection, trace merge, counters).
+//
+//   - Mailbox timing. A spike fired during tick t with axonal delay d
+//     targets absolute ring slot (slot_t + d) % len(ring), computed at
+//     fire time. The earliest that slot is consumed is tick t+1 (d is
+//     at least 1 and at most MaxDelay < len(ring)), and inbox drain
+//     runs at the very start of the destination's tick t+1 work —
+//     before the worklist predicate reads dirty flags and before the
+//     slot is integrated. The ring therefore holds exactly the bits
+//     the unsharded engine would hold at every observation point.
+//
+//   - Double-buffered mailboxes. Each mailbox is a 2-element parity
+//     array: during tick t writers append to parity t&1 while readers
+//     drain parity (t+1)&1 (the messages posted during tick t-1), so
+//     no mailbox slice is ever read and written concurrently.
+//
+//   - Schedule-independent noise. Stochastic thresholds draw from
+//     per-core counter-based streams keyed (seed, coreID) (noise.go),
+//     so a draw's value depends only on how many draws that core has
+//     made — never on which goroutine evaluates it or in what order.
+//
+//   - Deterministic merge. Per-tick outputs are combined on the main
+//     goroutine after the barrier: output-pin ORs and uint64 counter
+//     sums are order-independent, and trace events are k-way merged by
+//     ascending core ID (shards emit their events core-ascending, and
+//     core sets are disjoint), reproducing the unsharded engine's
+//     append order exactly.
+//
+// The differential and fuzz harnesses (differential_test.go,
+// fuzz_test.go) check the resulting spike-for-spike equality across
+// shard counts on hostile random models.
+
+// spikeMsg is one cross-shard spike in flight: the target core/axon
+// and the absolute ring slot (precomputed at fire time) it lands in.
+type spikeMsg struct {
+	core int32
+	axon int32
+	slot int32
+}
+
+// simShard is one shard's private state. Everything here is written
+// only by the owning worker (or by the main goroutine between
+// barriers, e.g. Reset), so none of it needs atomics.
+type simShard struct {
+	// cores lists the shard's core IDs in ascending order.
+	cores []int
+	// start releases the worker for one tick; the shared shardSet.done
+	// channel is the barrier's other half.
+	start chan struct{}
+	// work is the shard's reusable worklist; workN is published for
+	// the main goroutine to sum into the active-core sample after the
+	// barrier (deterministic regardless of completion order).
+	work  []int
+	workN int
+	// outBuf collects this shard's external output spikes for the
+	// tick; the main goroutine ORs the per-shard buffers together.
+	outBuf []bool
+	// events collects this tick's trace events in core-ascending
+	// order, merged across shards by mergeTrace.
+	events []TraceEvent
+	// spikesRouted / spikesCross count routed and cross-shard spikes
+	// since Reset; summed by the main goroutine after barriers.
+	spikesRouted uint64
+	spikesCross  uint64
+	// busyNS accumulates obs-gated per-tick busy wall time.
+	busyNS uint64
+}
+
+// shardSet owns the worker goroutines and mailboxes of a sharded
+// simulator.
+type shardSet struct {
+	sim    *Simulator
+	shards []simShard
+	// mail[src][dst] is the double-buffered mailbox from shard src to
+	// shard dst; index 2 is the tick parity (see package comment).
+	mail [][][2][]spikeMsg
+	// done is the barrier's collection side: each worker sends exactly
+	// one value per tick.
+	done chan int
+	// mergeIdx is mergeTrace's reusable per-shard cursor buffer.
+	mergeIdx []int
+
+	// publishedCross tracks the cross-shard spike total already
+	// exported, so PublishMetrics adds only the delta.
+	publishedCross uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopFn   func()
+	wg       sync.WaitGroup
+}
+
+// newShardSet builds the shard state for an already-partitioned
+// simulator and launches one persistent worker per shard.
+func newShardSet(s *Simulator, part Partition) *shardSet {
+	n := part.Shards()
+	ss := &shardSet{
+		sim:      s,
+		shards:   make([]simShard, n),
+		mail:     make([][][2][]spikeMsg, n),
+		done:     make(chan int, n),
+		mergeIdx: make([]int, n),
+		stop:     make(chan struct{}),
+	}
+	for k := range ss.shards {
+		ss.shards[k] = simShard{
+			cores:  part.Cores[k],
+			start:  make(chan struct{}, 1),
+			work:   make([]int, 0, len(part.Cores[k])),
+			outBuf: make([]bool, s.model.NumOutputs()),
+		}
+		ss.mail[k] = make([][2][]spikeMsg, n)
+	}
+	ss.stopFn = ss.launch()
+	return ss
+}
+
+// launch starts the worker goroutines and returns the function that
+// joins them: closing stop releases every worker from its next barrier
+// wait, and the WaitGroup confirms all of them exited.
+func (ss *shardSet) launch() func() {
+	for k := range ss.shards {
+		ss.wg.Add(1)
+		go func(k int) {
+			defer ss.wg.Done()
+			ss.worker(k)
+		}(k)
+	}
+	return func() {
+		close(ss.stop)
+		ss.wg.Wait()
+	}
+}
+
+// close joins the worker goroutines. Idempotent; the simulator remains
+// usable only for inspection afterwards (Step would deadlock).
+func (ss *shardSet) close() {
+	ss.stopOnce.Do(ss.stopFn)
+}
+
+// worker is one shard's tick loop: wait at the barrier, run the tick,
+// report done. Telemetry (busy time, barrier wait) is obs-gated and
+// lives out here so the hot runShardTick stays free of wall-clock
+// reads and registry traffic.
+func (ss *shardSet) worker(k int) {
+	sh := &ss.shards[k]
+	var idleStart time.Time
+	if obs.Enabled() {
+		idleStart = time.Now()
+	}
+	for {
+		select {
+		case <-ss.stop:
+			return
+		case <-sh.start:
+		}
+		var busyStart time.Time
+		if obs.Enabled() {
+			busyStart = time.Now()
+			if !idleStart.IsZero() {
+				wait := busyStart.Sub(idleStart)
+				obs.BucketHistogramM("truenorth.shard_barrier_wait_ms", obs.LatencyMSBuckets).
+					Observe(float64(wait.Nanoseconds()) / 1e6)
+			}
+		}
+		ss.sim.runShardTick(k)
+		if obs.Enabled() {
+			if !busyStart.IsZero() {
+				busy := time.Since(busyStart)
+				sh.busyNS += uint64(busy.Nanoseconds())
+				obs.BucketHistogramM("truenorth.shard_busy_ms", obs.LatencyMSBuckets).
+					Observe(float64(busy.Nanoseconds()) / 1e6)
+			}
+			idleStart = time.Now()
+		} else {
+			idleStart = time.Time{}
+		}
+		ss.done <- k
+	}
+}
+
+// runShardTick advances one shard by one tick: drain cross-shard
+// inboxes into the ring, evaluate the shard's worklist against the
+// current slot, route fired spikes (same-shard directly, cross-shard
+// into outboxes), then clear the shard's portion of the consumed slot.
+// Mirrors the unsharded Step body; keep the two in sync.
+//
+//pcnn:hotpath
+func (s *Simulator) runShardTick(k int) {
+	ss := s.shards
+	sh := &ss.shards[k]
+	tick := s.tick
+	// Drain messages posted during tick-1 (parity (tick+1)&1); this
+	// tick's posts go to the other parity.
+	drain := int((tick + 1) & 1)
+	post := int(tick & 1)
+	for src := range ss.shards {
+		box := &ss.mail[src][k][drain]
+		msgs := *box
+		for _, mg := range msgs {
+			slot := &s.ring[mg.slot]
+			c := int(mg.core)
+			slot.bufs[c][mg.axon/64] |= 1 << uint(mg.axon%64)
+			if !slot.dirty[c] {
+				slot.dirty[c] = true
+				slot.lists[k] = append(slot.lists[k], c)
+			}
+		}
+		*box = msgs[:0]
+	}
+
+	cur := &s.ring[s.slot]
+	out := sh.outBuf
+	for i := range out {
+		out[i] = false
+	}
+
+	m := s.model
+	work := sh.work[:0]
+	if s.engine == EngineDense {
+		work = append(work, sh.cores...)
+	} else {
+		for _, c := range sh.cores {
+			core := m.Core(c)
+			if cur.dirty[c] || core.livePotential || core.idleActive() {
+				work = append(work, c)
+			}
+		}
+	}
+	sh.work = work
+	sh.workN = len(work)
+
+	events := sh.events[:0]
+	for _, c := range work {
+		core := m.Core(c)
+		if cur.dirty[c] {
+			core.Integrate(cur.bufs[c])
+		}
+		for _, n := range core.fire(&s.noise[c]) {
+			if s.trace != nil {
+				events = append(events, TraceEvent{Tick: tick, Core: c, Neuron: n})
+			}
+			t := m.RouteOf(c, n)
+			switch {
+			case t.IsDisconnected():
+				// Dropped.
+			case t.IsExternal():
+				if t.Axon < len(out) {
+					out[t.Axon] = true
+				}
+				sh.spikesRouted++
+			default:
+				d := t.Delay
+				if d <= 0 {
+					d = 1
+				}
+				dst := s.owner[t.Core]
+				if dst == k {
+					slot := &s.ring[(s.slot+d)%len(s.ring)]
+					slot.bufs[t.Core][t.Axon/64] |= 1 << uint(t.Axon%64)
+					if !slot.dirty[t.Core] {
+						slot.dirty[t.Core] = true
+						slot.lists[k] = append(slot.lists[k], t.Core)
+					}
+				} else {
+					ss.mail[k][dst][post] = append(ss.mail[k][dst][post], spikeMsg{
+						core: int32(t.Core),
+						axon: int32(t.Axon),
+						slot: int32((s.slot + d) % len(s.ring)),
+					})
+					sh.spikesCross++
+				}
+				sh.spikesRouted++
+			}
+		}
+	}
+	sh.events = events
+
+	// Clear this shard's entries in the consumed slot for reuse a full
+	// ring-cycle later.
+	for _, c := range cur.lists[k] {
+		buf := cur.bufs[c]
+		for i := range buf {
+			buf[i] = 0
+		}
+		cur.dirty[c] = false
+	}
+	cur.lists[k] = cur.lists[k][:0]
+}
+
+// stepSharded is Step's sharded body: advance the slot pointer,
+// release every worker for one tick, wait for all of them at the
+// barrier, then merge per-shard outputs deterministically on the main
+// goroutine (OR the output pins, sum the active-core counts, k-way
+// merge the trace events by core ID).
+//
+//pcnn:hotpath
+func (s *Simulator) stepSharded() []bool {
+	ss := s.shards
+	s.slot = (s.slot + 1) % len(s.ring)
+	for i := range s.outBuf {
+		s.outBuf[i] = false
+	}
+	for k := range ss.shards {
+		ss.shards[k].start <- struct{}{}
+	}
+	for range ss.shards {
+		<-ss.done
+	}
+	totalWork := 0
+	for k := range ss.shards {
+		sh := &ss.shards[k]
+		totalWork += sh.workN
+		for i, fired := range sh.outBuf {
+			if fired {
+				s.outBuf[i] = true
+			}
+		}
+	}
+	if obs.Enabled() {
+		s.sampleActiveCores(totalWork)
+	}
+	if s.trace != nil {
+		ss.mergeTrace(s.trace)
+	}
+	s.tick++
+	return s.outBuf
+}
+
+// mergeTrace folds the per-shard event buffers of the just-finished
+// tick into tr in ascending core order. Shards own disjoint core sets
+// and emit their own events core-ascending, so repeatedly copying the
+// run of events for the smallest head core reproduces exactly the
+// order the unsharded engine would have appended.
+func (ss *shardSet) mergeTrace(tr *Trace) {
+	idx := ss.mergeIdx
+	for k := range idx {
+		idx[k] = 0
+	}
+	for {
+		best, bestCore := -1, 0
+		for k := range ss.shards {
+			ev := ss.shards[k].events
+			if idx[k] >= len(ev) {
+				continue
+			}
+			if c := ev[idx[k]].Core; best < 0 || c < bestCore {
+				best, bestCore = k, c
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ev := ss.shards[best].events
+		i := idx[best]
+		for i < len(ev) && ev[i].Core == bestCore {
+			tr.record(ev[i].Tick, ev[i].Core, ev[i].Neuron)
+			i++
+		}
+		idx[best] = i
+	}
+}
+
+// reset clears all shard-private activity state; called from
+// Simulator.Reset between barriers (workers are parked, so plain
+// writes are safe).
+func (ss *shardSet) reset() {
+	for k := range ss.shards {
+		sh := &ss.shards[k]
+		sh.work = sh.work[:0]
+		sh.workN = 0
+		sh.events = sh.events[:0]
+		for i := range sh.outBuf {
+			sh.outBuf[i] = false
+		}
+		sh.spikesRouted = 0
+		sh.spikesCross = 0
+		sh.busyNS = 0
+	}
+	for src := range ss.mail {
+		for dst := range ss.mail[src] {
+			ss.mail[src][dst][0] = ss.mail[src][dst][0][:0]
+			ss.mail[src][dst][1] = ss.mail[src][dst][1][:0]
+		}
+	}
+	ss.publishedCross = 0
+}
+
+// crossSpikes sums the cross-shard spike count since Reset.
+func (ss *shardSet) crossSpikes() uint64 {
+	var n uint64
+	for k := range ss.shards {
+		n += ss.shards[k].spikesCross
+	}
+	return n
+}

@@ -55,15 +55,39 @@ func WithEngine(e Engine) Option {
 	return func(s *Simulator) { s.engine = e }
 }
 
+// WithShards partitions the core graph across n shards run by
+// persistent worker goroutines in lockstep behind a per-tick barrier
+// (see shard.go). n is clamped to [1, NumCores]; n <= 1 keeps the
+// single-goroutine engine. Sharded execution is bit-identical to the
+// unsharded engine for any shard count — same spike traces, output
+// counts, energy statistics and noise draws — a contract enforced by
+// the differential and fuzz harnesses. Call Close on a sharded
+// simulator when done with it to join the workers.
+func WithShards(n int) Option {
+	return func(s *Simulator) { s.shardCount = n }
+}
+
+// WithPartitionStrategy selects how WithShards assigns cores to shards
+// (the default is PartitionBlock). The choice affects only cross-shard
+// traffic and load balance, never results.
+func WithPartitionStrategy(st PartitionStrategy) Option {
+	return func(s *Simulator) { s.partStrategy = st }
+}
+
 // ringSlot is one delay slot of the axon spike ring: per-core bitsets
 // plus the set of cores actually written since the last clear, so
 // consuming a slot touches only buffers that hold spikes.
 type ringSlot struct {
 	bufs [][]uint64
-	// dirty flags cores with pending spikes in this slot; list holds
-	// the same set as ids (unordered) for O(written) clearing.
+	// dirty flags cores with pending spikes in this slot; lists holds
+	// the same set partitioned by owning shard (unordered within a
+	// shard) for O(written) clearing. lists[k] contains only cores
+	// owned by shard k and is written only by that shard (or by the
+	// main goroutine between ticks), the invariant that lets shards
+	// clear their portion of a consumed slot without coordination.
+	// Unsharded simulators use a single list at index 0.
 	dirty []bool
-	list  []int
+	lists [][]int
 }
 
 // activeSampleCap bounds the per-simulator reservoir of per-tick
@@ -111,6 +135,16 @@ type Simulator struct {
 	activeSamples []float64
 	activeTicks   uint64
 	activeLCG     uint64
+
+	// shardCount / partStrategy record the WithShards /
+	// WithPartitionStrategy options; owner maps every core to its
+	// shard (all zeros unsharded), part is the full assignment, and
+	// shards is the worker machinery — nil when running unsharded.
+	shardCount   int
+	partStrategy PartitionStrategy
+	owner        []int
+	part         Partition
+	shards       *shardSet
 }
 
 // NewSimulator prepares a simulator for model. seed keys the per-core
@@ -123,31 +157,62 @@ func NewSimulator(model *Model, seed int64, opts ...Option) (*Simulator, error) 
 	}
 	n := model.NumCores()
 	s := &Simulator{
-		model:    model,
-		engine:   EngineSparse,
-		outBuf:   make([]bool, model.NumOutputs()),
-		ring:     make([]ringSlot, MaxDelay+1),
-		noise:    make([]counterNoise, n),
-		worklist: make([]int, 0, n),
+		model:      model,
+		engine:     EngineSparse,
+		outBuf:     make([]bool, model.NumOutputs()),
+		noise:      make([]counterNoise, n),
+		worklist:   make([]int, 0, n),
+		shardCount: 1,
 	}
+	// Options are applied before the ring is built: the per-slot
+	// written-core lists are sized per shard.
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.part = PartitionModel(model, s.shardCount, s.partStrategy)
+	s.owner = s.part.Owner
+	nsh := s.part.Shards()
+	s.ring = make([]ringSlot, MaxDelay+1)
 	for k := range s.ring {
+		lists := make([][]int, nsh)
+		for j := range lists {
+			// A core appears at most once per slot (dirty-guarded), so
+			// shard-size capacity makes list appends allocation-free.
+			lists[j] = make([]int, 0, len(s.part.Cores[j]))
+		}
 		s.ring[k] = ringSlot{
 			bufs:  newSpikeBuffers(model),
 			dirty: make([]bool, n),
-			list:  make([]int, 0, n),
+			lists: lists,
 		}
 	}
 	for c := range s.noise {
 		s.noise[c] = newCounterNoise(seed, c)
 	}
-	for _, opt := range opts {
-		opt(s)
+	if nsh > 1 {
+		s.shards = newShardSet(s, s.part)
 	}
 	// slot starts at 0; injections with the default delay of 1 land in
 	// slot 1 and are consumed on the first Step after the pointer
 	// advances there... to preserve the original inject-before-step
 	// semantics, Step consumes the *next* slot after rotation.
 	return s, nil
+}
+
+// Shards returns the number of shards the simulator executes with
+// (1 when unsharded).
+func (s *Simulator) Shards() int { return s.part.Shards() }
+
+// Partition returns the simulator's core-to-shard assignment.
+func (s *Simulator) Partition() Partition { return s.part }
+
+// Close joins the shard worker goroutines of a sharded simulator; it
+// is a no-op (and always safe to call, repeatedly) on an unsharded
+// one. After Close the simulator must not be stepped again.
+func (s *Simulator) Close() {
+	if s.shards != nil {
+		s.shards.close()
+	}
 }
 
 // Engine returns the execution engine the simulator was built with.
@@ -163,7 +228,8 @@ func (s *Simulator) deliver(core, axon, delay int) {
 	slot.bufs[core][axon/64] |= 1 << uint(axon%64)
 	if !slot.dirty[core] {
 		slot.dirty[core] = true
-		slot.list = append(slot.list, core)
+		k := s.owner[core]
+		slot.lists[k] = append(slot.lists[k], core)
 	}
 }
 
@@ -210,10 +276,15 @@ func (s *Simulator) InjectInputs(pins []int) error {
 // this tick's ring slot, a live membrane potential, or restless or
 // stochastic neurons (Core.idleActive). Cores are always visited in
 // ascending ID order so trace event order and noise draws match across
-// engines exactly.
+// engines exactly. A simulator built with WithShards(n > 1) runs the
+// same tick split across worker goroutines (shard.go) with identical
+// results.
 //
 //pcnn:hotpath
 func (s *Simulator) Step() []bool {
+	if s.shards != nil {
+		return s.stepSharded()
+	}
 	// Advance to the slot injections (delay 1) were scheduled into,
 	// then consume it.
 	s.slot = (s.slot + 1) % len(s.ring)
@@ -268,15 +339,16 @@ func (s *Simulator) Step() []bool {
 		}
 	}
 	// Clear the consumed slot for reuse a full ring-cycle later,
-	// touching only the buffers that were written.
-	for _, c := range cur.list {
+	// touching only the buffers that were written (all in list 0:
+	// every core is owned by shard 0 when unsharded).
+	for _, c := range cur.lists[0] {
 		buf := cur.bufs[c]
 		for i := range buf {
 			buf[i] = 0
 		}
 		cur.dirty[c] = false
 	}
-	cur.list = cur.list[:0]
+	cur.lists[0] = cur.lists[0][:0]
 	s.tick++
 	return s.outBuf
 }
@@ -386,6 +458,20 @@ func (s *Simulator) PublishMetrics() {
 	for c := 0; c < s.model.NumCores(); c++ {
 		h.Observe(float64(s.model.Core(c).FireEvents()))
 	}
+	if ss := s.shards; ss != nil {
+		// Shard-mode aggregates, merged here on the main goroutine
+		// between barriers so the result never depends on shard
+		// completion order: the cross-shard spike total is an exact
+		// uint64 sum over parked workers, published as a delta like
+		// the other counters. (The per-tick busy / barrier-wait
+		// BucketHistograms are observed directly by the workers;
+		// atomic bucket adds are order-independent by construction.)
+		obs.GaugeM("truenorth.shards").Set(float64(len(ss.shards)))
+		obs.GaugeM("truenorth.shard_cross_edges").Set(float64(s.part.CrossEdges))
+		cross := ss.crossSpikes()
+		obs.CounterM("truenorth.shard_spikes_cross").Add(cross - ss.publishedCross)
+		ss.publishedCross = cross
+	}
 }
 
 // Reset returns the simulator (and all core membrane potentials and
@@ -409,7 +495,9 @@ func (s *Simulator) Reset() {
 		for i := range slot.dirty {
 			slot.dirty[i] = false
 		}
-		slot.list = slot.list[:0]
+		for k := range slot.lists {
+			slot.lists[k] = slot.lists[k][:0]
+		}
 	}
 	for i := range s.outBuf {
 		s.outBuf[i] = false
@@ -421,11 +509,23 @@ func (s *Simulator) Reset() {
 	s.activeSamples = s.activeSamples[:0]
 	s.activeTicks = 0
 	s.activeLCG = 0
+	if s.shards != nil {
+		s.shards.reset()
+	}
 }
 
 // SpikesRouted returns the number of spikes delivered across the
-// routing fabric since the last Reset.
-func (s *Simulator) SpikesRouted() uint64 { return s.spikesRouted }
+// routing fabric since the last Reset. Sharded simulators keep the
+// count per shard; the sum is exact and order-independent.
+func (s *Simulator) SpikesRouted() uint64 {
+	n := s.spikesRouted
+	if s.shards != nil {
+		for k := range s.shards.shards {
+			n += s.shards.shards[k].spikesRouted
+		}
+	}
+	return n
+}
 
 // Model returns the simulated model.
 func (s *Simulator) Model() *Model { return s.model }

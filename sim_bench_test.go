@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/imgproc"
 	"repro/internal/napprox"
+	"repro/internal/obs"
 	"repro/internal/truenorth"
 )
 
@@ -54,11 +55,13 @@ func benchStepModel(b *testing.B) *truenorth.Model {
 // receiving input (at least one core). Steady state must be
 // allocation-free on both engines — TestStepSteadyStateAllocs pins the
 // same property as a hard test.
-func benchStep(b *testing.B, engine truenorth.Engine, pct int) {
-	sim, err := truenorth.NewSimulator(benchStepModel(b), 1, truenorth.WithEngine(engine))
+func benchStep(b *testing.B, engine truenorth.Engine, pct int, extra ...truenorth.Option) {
+	opts := append([]truenorth.Option{truenorth.WithEngine(engine)}, extra...)
+	sim, err := truenorth.NewSimulator(benchStepModel(b), 1, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sim.Close()
 	k := benchFabricCores * pct / 100
 	if k < 1 {
 		k = 1
@@ -98,6 +101,103 @@ func BenchmarkStepSparse(b *testing.B) {
 	for _, pct := range []int{1, 10, 50} {
 		b.Run(fmt.Sprintf("activity%d", pct), func(b *testing.B) {
 			benchStep(b, truenorth.EngineSparse, pct)
+		})
+	}
+}
+
+// BenchmarkStepSharded measures the sharded tick on the same
+// 64-core fabric at 10% activity so the barrier + mailbox overhead is
+// directly comparable against BenchmarkStepSparse/activity10. On a
+// single-CPU host the barrier round-trip dominates; the multi-chip
+// sweep below is where sharding is meant to pay off.
+func BenchmarkStepSharded(b *testing.B) {
+	for _, nsh := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", nsh), func(b *testing.B) {
+			benchStep(b, truenorth.EngineSparse, 10, truenorth.WithShards(nsh))
+		})
+	}
+}
+
+// benchMultiChipCores sizes the shard-sweep fabric past the
+// single-chip boundary (ChipCores = 4096), so the sweep exercises a
+// genuine multi-chip model.
+const benchMultiChipCores = truenorth.ChipCores + 512
+
+// benchMultiChipModel builds the shard-sweep fabric: benchMultiChipCores
+// small cores, each with one input-driven axon fanned across 16 neurons
+// (threshold 3, so cores fire every third injected tick) and neuron 0
+// chained to the next core, giving every shard boundary steady
+// cross-shard traffic without runaway cascades.
+func benchMultiChipModel(b *testing.B) *truenorth.Model {
+	b.Helper()
+	m := truenorth.NewModel()
+	for c := 0; c < benchMultiChipCores; c++ {
+		core, err := m.AddCore(1, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := truenorth.DefaultNeuron()
+		p.Weights = [truenorth.NumAxonTypes]int32{1, 0, 0, 0}
+		p.Threshold = 3
+		for n := 0; n < 16; n++ {
+			if err := core.SetNeuron(n, p); err != nil {
+				b.Fatal(err)
+			}
+			if err := core.Connect(0, n, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.AddInput(c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c := 0; c < benchMultiChipCores-1; c++ {
+		if err := m.Route(c, 0, truenorth.Target{Core: c + 1, Axon: 0, Delay: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkMultiChipShardSweep drives the >4096-core fabric at 10%
+// striped activity across shard counts and publishes one
+// higher-is-better gauge per point (truenorth.shard<N>.ticks_per_sec),
+// so `make bench-sim` records the sweep in BENCH_sim.json and
+// pcnn-bench gates regressions on it.
+func BenchmarkMultiChipShardSweep(b *testing.B) {
+	model := benchMultiChipModel(b)
+	const stride = 10 // 10% of cores injected per tick, striped fabric-wide
+	for _, nsh := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", nsh), func(b *testing.B) {
+			sim, err := truenorth.NewSimulator(model, 1,
+				truenorth.WithEngine(truenorth.EngineSparse), truenorth.WithShards(nsh))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			inject := func(tick int) {
+				for p := tick % stride; p < benchMultiChipCores; p += stride {
+					if err := sim.InjectInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for t := 0; t < 8; t++ {
+				inject(t)
+				sim.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inject(i)
+				sim.Step()
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				obs.GaugeM(fmt.Sprintf("truenorth.shard%d.ticks_per_sec", nsh)).
+					Set(float64(b.N) / secs)
+			}
+			sim.PublishMetrics()
 		})
 	}
 }
