@@ -61,13 +61,15 @@ bench-sim:
 	BENCH_SIM_OUT=BENCH_sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse|Sharded)|BenchmarkMultiChipShardSweep|BenchmarkRunNApprox' -benchmem -run '^$$' .
 
 # bench-detect runs the detection-engine benchmarks (single image and
-# batch at workers 1/4/NumCPU, the 0-alloc inner scan loop, and the
-# per-paradigm GridInto/DescriptorInto kernel microbenchmarks) and
+# batch at workers 1/4/NumCPU, the 0-alloc inner scan loop, the
+# temporal sequence engine on static/5%-motion/full-motion mixes, and
+# the per-paradigm GridInto/DescriptorInto kernel microbenchmarks) and
 # writes the telemetry snapshot — detect.workers, detect.band_ms,
-# detect.worker_utilization, windows/s — to BENCH_detect.json.
+# detect.worker_utilization, windows/s, detect.seq.*.frames_per_sec,
+# detect.reuse_ratio — to BENCH_detect.json.
 # $(CURDIR) pins the path because go test runs in the package dir.
 bench-detect:
-	BENCH_DETECT_OUT=$(CURDIR)/BENCH_detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner)|BenchmarkGridInto|BenchmarkDescriptorInto' -benchmem -run '^$$'
+	BENCH_DETECT_OUT=$(CURDIR)/BENCH_detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner|Sequence)|BenchmarkGridInto|BenchmarkDescriptorInto' -benchmem -run '^$$'
 
 # bench-gate is the regression sentinel: short (-benchtime=1x) runs of
 # the detection and simulator benchmarks write fresh telemetry
@@ -79,7 +81,7 @@ bench-detect:
 # BENCH_SLACK=1 locally for a tight pass.
 BENCH_SLACK ?= 4
 bench-gate:
-	BENCH_DETECT_OUT=/tmp/pcnn-bench-detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner)|BenchmarkGridInto|BenchmarkDescriptorInto' -benchtime=1x -benchmem -run '^$$'
+	BENCH_DETECT_OUT=/tmp/pcnn-bench-detect.json $(GO) test ./internal/detect -bench 'BenchmarkDetect(Image|All|ScanInner|Sequence)|BenchmarkGridInto|BenchmarkDescriptorInto' -benchtime=1x -benchmem -run '^$$'
 	BENCH_SIM_OUT=/tmp/pcnn-bench-sim.json $(GO) test -bench 'BenchmarkStep(Dense|Sparse|Sharded)|BenchmarkMultiChipShardSweep|BenchmarkRunNApprox' -benchtime=1x -benchmem -run '^$$' .
 	$(GO) run ./cmd/pcnn-bench -slack $(BENCH_SLACK) \
 		-baseline BENCH_detect.json -fresh /tmp/pcnn-bench-detect.json \

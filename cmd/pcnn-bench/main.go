@@ -90,6 +90,13 @@ func ruleFor(name, field string) rule {
 		// Diagnostic only; the shard<N>.ticks_per_sec gauges carry the
 		// gated shard-performance signal.
 		return rule{Dir: informational}
+	case strings.HasSuffix(name, "_ratio"):
+		// Reuse/efficiency ratios (e.g. detect.reuse_ratio) track the
+		// benchmark's workload mix — how static the frames happen to be
+		// — not code speed, so a run with different scene composition
+		// would trip a gate without any regression. Diagnostic only;
+		// the frames_per_sec gauges carry the gated temporal signal.
+		return rule{Dir: informational}
 	case (strings.HasSuffix(name, "_ms") || strings.HasSuffix(name, "_seconds")) &&
 		(field == "p50" || field == "p99" || field == "mean"):
 		return rule{Dir: lowerBetter, Tol: 0.30}

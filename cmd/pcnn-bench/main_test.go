@@ -193,6 +193,11 @@ func TestRuleClassification(t *testing.T) {
 		{"detect.worker_utilization", "p99", higherBetter},
 		{"detect.worker_utilization", "mean", higherBetter},
 		{"detect.worker_utilization", "count", informational},
+		{"detect.seq.motion5.frames_per_sec", "", higherBetter},
+		{"detect.frames_per_sec", "", higherBetter},
+		{"detect.reuse_ratio", "p50", informational},
+		{"detect.reuse_ratio", "mean", informational},
+		{"detect.reuse_ratio", "count", informational},
 	}
 	for _, c := range cases {
 		if got := ruleFor(c.name, c.field); got.Dir != c.want {

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	pcnn-dataset -out dir [-pos 8] [-neg 8] [-scenes 2] [-parrot 8] [-seed 1]
+//
+// The seq subcommand (see seq.go) renders temporal frame sequences:
+//
+//	pcnn-dataset seq -scenario pan -out seq-out [-w 320] [-h 240] [-frames 16]
 package main
 
 import (
@@ -21,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "seq" {
+		runSeq(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "dataset-out", "output directory")
 	nPos := flag.Int("pos", 8, "positive windows to export")
 	nNeg := flag.Int("neg", 8, "negative windows to export")

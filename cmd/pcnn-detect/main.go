@@ -39,7 +39,9 @@ func main() {
 	in := flag.String("in", "", "detect on this PGM image instead of a synthetic scene")
 	pgmOut := flag.String("pgm-out", "", "write the scene image here as PGM")
 	threshold := flag.Float64("threshold", 0, "detection score threshold")
-	workers := flag.Int("workers", 0, "detection scan workers (0 or 1 sequential; clamped to GOMAXPROCS; output is worker-count invariant)")
+	workers := flag.Int("workers", 0, "detection scan workers (0 or 1 sequential; clamped to GOMAXPROCS; output is worker-count invariant; with -metrics, per-image busy/wall fractions land in the detect.worker_utilization histogram)")
+	seqScenario := flag.String("seq", "", "temporal mode: detect over this frame-sequence scenario (see pcnn-dataset seq) instead of a single image")
+	seqFrames := flag.Int("frames", 8, "frames to render in -seq mode")
 	tele.Register(flag.CommandLine)
 	flag.Parse()
 	tele.MustStart()
@@ -70,6 +72,20 @@ func main() {
 	sp.End()
 	if err != nil {
 		die(err)
+	}
+
+	if *seqScenario != "" {
+		dcfg := detect.DefaultConfig()
+		dcfg.Threshold = *threshold
+		dcfg.Workers = *workers
+		det, err := part.Detector(dcfg)
+		if err != nil {
+			die(err)
+		}
+		runSequence(det, *seqScenario, *sceneSeed, *seqFrames)
+		root.End()
+		tele.MustFinish()
+		return
 	}
 
 	var img *imgproc.Image

@@ -34,7 +34,7 @@ func main() {
 	full := flag.Bool("full", false, "use the paper-protocol-sized configuration (slow)")
 	cells := flag.Int("hwcells", 200, "cells for the hardware/software validation")
 	engine := flag.String("engine", "sparse", "truenorth execution engine: dense or sparse (bit-identical; sparse skips idle cores)")
-	workers := flag.Int("workers", 0, "detection scan workers (0 or 1 sequential; clamped to GOMAXPROCS; output is worker-count invariant)")
+	workers := flag.Int("workers", 0, "detection scan workers (0 or 1 sequential; clamped to GOMAXPROCS; output is worker-count invariant; with -metrics, per-image busy/wall fractions land in the detect.worker_utilization histogram)")
 	shards := flag.Int("shards", 1, "shard each simulator's core graph across this many goroutines (bit-identical to -shards 1)")
 	partName := flag.String("partition", "block", "shard partitioner: block or mincut")
 	tele.Register(flag.CommandLine)

@@ -1,0 +1,363 @@
+// Frame-sequence scenarios for the temporal detection workload: moving
+// pedestrians over a static background, camera pan and jitter, crowds,
+// and lighting ramps with night/fog variants. The sequences are built
+// for cross-frame reuse testing: the static world (background, clutter,
+// blur, noise) is rendered and baked exactly once, and every frame
+// re-renders only the moving content on top of a copy, so pixels away
+// from motion are bit-identical between frames and a differencing
+// detector sees the true dirty regions.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/imgproc"
+)
+
+// Frame is one step of a generated sequence: the image, its ground
+// truth, and the camera translation relative to the previous frame
+// (content obeys new[x, y] = prev[x+PanX, y+PanY] over the overlap;
+// zero for static-camera scenarios, and always zero on frame 0).
+type Frame struct {
+	Image      *imgproc.Image
+	Truth      []Box
+	PanX, PanY int
+}
+
+// PanStep is the camera translation per frame of the "pan" scenario,
+// in pixels. It is one 8-pixel cell so the temporal detector's
+// integer-cell shift reuse applies; the "jitter" scenario deliberately
+// uses non-multiples to exercise the full-recompute fallback.
+const PanStep = 8
+
+// SequenceScenarios lists the named scenarios FrameSequence accepts,
+// in catalog order.
+func SequenceScenarios() []string {
+	return []string{
+		"static",        // frozen scene: every frame bit-identical
+		"walkers",       // two pedestrians translating over a static background
+		"walkers-night", // walkers under low light with heavier sensor noise
+		"walkers-fog",   // walkers through fog: washed-out, blurred world
+		"crowd",         // six pedestrians, denser motion
+		"pan",           // static world, camera panning PanStep px/frame (cell-aligned)
+		"jitter",        // static world, fractional camera shake (non-cell-aligned)
+		"lightramp",     // static scene under a global brightness ramp (all pixels change)
+	}
+}
+
+// track is one pedestrian's motion state: an integer position advanced
+// by a velocity, bounced off the walkable margins.
+type track struct {
+	w, h   int
+	x, y   int
+	vx, vy int
+	seed   int64 // appearance seed: the silhouette is identical every frame
+}
+
+// FrameSequence renders n frames of the named scenario at w x h.
+// Sequences are deterministic per generator seed. Unknown scenarios
+// return an error (see SequenceScenarios).
+func (g *Generator) FrameSequence(scenario string, w, h, n int) ([]Frame, error) {
+	if n <= 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("dataset: bad sequence geometry %dx%d x %d frames", w, h, n)
+	}
+	switch scenario {
+	case "static":
+		return g.staticSeq(w, h, n), nil
+	case "walkers":
+		return g.walkerSeq(w, h, n, 2, seqPlain), nil
+	case "walkers-night":
+		return g.walkerSeq(w, h, n, 2, seqNight), nil
+	case "walkers-fog":
+		return g.walkerSeq(w, h, n, 2, seqFog), nil
+	case "crowd":
+		return g.walkerSeq(w, h, n, 6, seqPlain), nil
+	case "pan":
+		return g.panSeq(w, h, n, PanStep, 0), nil
+	case "jitter":
+		return g.jitterSeq(w, h, n), nil
+	case "lightramp":
+		return g.lightRampSeq(w, h, n), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown sequence scenario %q", scenario)
+}
+
+// seqVariant selects the lighting treatment baked into a walker world.
+type seqVariant int
+
+const (
+	seqPlain seqVariant = iota
+	seqNight
+	seqFog
+)
+
+// bakeWorld renders the immutable part of a scene — background texture,
+// clutter, blur, noise, clamp, and any lighting variant — exactly once.
+// Frames copy it, so static pixels repeat bit-for-bit.
+func (g *Generator) bakeWorld(w, h int, variant seqVariant) *imgproc.Image {
+	m := imgproc.New(w, h)
+	g.fillBackground(m)
+	g.scatterClutter(m, 3+g.rng.Intn(6))
+	imgproc.BoxBlur(m, 1)
+	switch variant {
+	case seqNight:
+		// Low light: crush brightness, then heavier sensor noise.
+		for i, v := range m.Pix {
+			m.Pix[i] = v * 0.3
+		}
+		g.addNoise(m, 0.05)
+	case seqFog:
+		// Fog: blend toward a bright haze and soften what remains.
+		for i, v := range m.Pix {
+			m.Pix[i] = v*0.45 + 0.72*0.55
+		}
+		imgproc.BoxBlur(m, 2)
+		g.addNoise(m, 0.015)
+	default:
+		g.addNoise(m, 0.02)
+	}
+	m.Clamp01()
+	return m
+}
+
+// newTracks places nPersons non-overlapping pedestrians with random
+// integer velocities (at least one axis moving) inside the w x h
+// walkable area.
+func (g *Generator) newTracks(w, h, nPersons int) []track {
+	var tracks []track
+	for i := 0; i < nPersons; i++ {
+		ph := h/2 + g.rng.Intn(max(1, h/3))
+		pw := ph / 2
+		if pw >= w || ph >= h {
+			continue
+		}
+		t := track{
+			w: pw, h: ph,
+			x:    g.rng.Intn(w - pw),
+			y:    g.rng.Intn(h - ph),
+			vx:   g.rng.Intn(7) - 3,
+			vy:   g.rng.Intn(3) - 1,
+			seed: g.rng.Int63(),
+		}
+		if t.vx == 0 && t.vy == 0 {
+			t.vx = 2
+		}
+		tracks = append(tracks, t)
+	}
+	return tracks
+}
+
+// advance moves a track one frame, bouncing off the image edges.
+func (t *track) advance(w, h int) {
+	t.x += t.vx
+	t.y += t.vy
+	if t.x < 0 {
+		t.x, t.vx = 0, -t.vx
+	}
+	if t.x+t.w > w {
+		t.x, t.vx = w-t.w, -t.vx
+	}
+	if t.y < 0 {
+		t.y, t.vy = 0, -t.vy
+	}
+	if t.y+t.h > h {
+		t.y, t.vy = h-t.h, -t.vy
+	}
+}
+
+// renderTracks draws every track onto a copy of world and returns the
+// frame with its truth boxes. Each person re-derives its silhouette
+// from its own appearance seed, so a pedestrian looks the same in
+// every frame and only its position dirties pixels. A light local blur
+// over each (expanded) person box softens the pasted edges without
+// touching the rest of the frame.
+func renderTracks(world *imgproc.Image, tracks []track, bg float64) Frame {
+	m := world.Clone()
+	var truth []Box
+	for _, t := range tracks {
+		pg := &Generator{rng: rand.New(rand.NewSource(t.seed))}
+		mx := t.w / 8
+		my := t.h / 16
+		pg.drawPerson(m, t.x+mx, t.y+my, t.w-2*mx, t.h-2*my, bg)
+		blurRect(m, t.x-2, t.y-2, t.w+4, t.h+4, 1)
+		truth = append(truth, Box{X: t.x, Y: t.y, W: t.w, H: t.h})
+	}
+	m.Clamp01()
+	return Frame{Image: m, Truth: truth}
+}
+
+// blurRect applies an r-radius box blur to the rectangle [x0,x0+w) x
+// [y0,y0+h) of m in place, reading neighbors through replicate-clamped
+// At. Pixels outside the rectangle are untouched, which keeps the
+// dirty footprint of a moving person confined to its (slightly
+// expanded) box.
+func blurRect(m *imgproc.Image, x0, y0, w, h, r int) {
+	if r <= 0 {
+		return
+	}
+	x1, y1 := x0+w, y0+h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > m.W {
+		x1 = m.W
+	}
+	if y1 > m.H {
+		y1 = m.H
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	tmp := make([]float64, (x1-x0)*(y1-y0))
+	n := float64((2*r + 1) * (2*r + 1))
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			var s float64
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					s += m.At(x+dx, y+dy)
+				}
+			}
+			tmp[(y-y0)*(x1-x0)+(x-x0)] = s / n
+		}
+	}
+	for y := y0; y < y1; y++ {
+		copy(m.Pix[y*m.W+x0:y*m.W+x1], tmp[(y-y0)*(x1-x0):(y-y0)*(x1-x0)+(x1-x0)])
+	}
+}
+
+// staticSeq repeats one fixed scene: the degenerate sequence the
+// bit-identity contract is stated over.
+func (g *Generator) staticSeq(w, h, n int) []Frame {
+	world := g.bakeWorld(w, h, seqPlain)
+	bg := meanOf(world)
+	tracks := g.newTracks(w, h, 2)
+	base := renderTracks(world, tracks, bg)
+	frames := make([]Frame, n)
+	for i := range frames {
+		frames[i] = Frame{Image: base.Image.Clone(), Truth: base.Truth}
+	}
+	return frames
+}
+
+// walkerSeq renders pedestrians translating over a static world.
+func (g *Generator) walkerSeq(w, h, n, nPersons int, variant seqVariant) []Frame {
+	world := g.bakeWorld(w, h, variant)
+	bg := meanOf(world)
+	tracks := g.newTracks(w, h, nPersons)
+	frames := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			for k := range tracks {
+				tracks[k].advance(w, h)
+			}
+		}
+		frames = append(frames, renderTracks(world, tracks, bg))
+	}
+	return frames
+}
+
+// clipBox intersects b with the w x h viewport, reporting false when
+// nothing remains visible. Ground truth for partially visible
+// pedestrians is the visible part, matching a real camera crop.
+func clipBox(b Box, w, h int) (Box, bool) {
+	if b.X < 0 {
+		b.W += b.X
+		b.X = 0
+	}
+	if b.Y < 0 {
+		b.H += b.Y
+		b.Y = 0
+	}
+	if b.X+b.W > w {
+		b.W = w - b.X
+	}
+	if b.Y+b.H > h {
+		b.H = h - b.Y
+	}
+	return b, b.W > 0 && b.H > 0
+}
+
+// panSeq crops a w x h viewport sliding (stepX, stepY) px/frame across
+// a larger static world with baked-in pedestrians. The per-frame pan
+// is reported in Frame.PanX/PanY.
+func (g *Generator) panSeq(w, h, n, stepX, stepY int) []Frame {
+	worldW := w + stepX*(n-1)
+	worldH := h + stepY*(n-1)
+	world := g.bakeWorld(worldW, worldH, seqPlain)
+	bg := meanOf(world)
+	tracks := g.newTracks(worldW, worldH, 2+n/8)
+	baked := renderTracks(world, tracks, bg)
+	frames := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		vx, vy := i*stepX, i*stepY
+		var truth []Box
+		for _, t := range baked.Truth {
+			if b, ok := clipBox(Box{X: t.X - vx, Y: t.Y - vy, W: t.W, H: t.H}, w, h); ok {
+				truth = append(truth, b)
+			}
+		}
+		f := Frame{Image: baked.Image.SubImage(vx, vy, w, h), Truth: truth}
+		if i > 0 {
+			f.PanX, f.PanY = stepX, stepY
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// jitterSeq shakes the viewport over a static world by small
+// non-cell-aligned offsets — the fractional-pan case the temporal
+// detector must answer with a full recompute.
+func (g *Generator) jitterSeq(w, h, n int) []Frame {
+	const m = 6 // jitter margin, px
+	world := g.bakeWorld(w+2*m, h+2*m, seqPlain)
+	bg := meanOf(world)
+	tracks := g.newTracks(w+2*m, h+2*m, 2)
+	baked := renderTracks(world, tracks, bg)
+	frames := make([]Frame, 0, n)
+	px, py := m, m
+	for i := 0; i < n; i++ {
+		// Deterministic shake with odd offsets (never multiples of 8).
+		vx := m + []int{0, 3, -1, 5, 1, -3}[i%6]
+		vy := m + []int{0, 1, 3, -1, -3, 5}[i%6]
+		var truth []Box
+		for _, t := range baked.Truth {
+			if b, ok := clipBox(Box{X: t.X - vx, Y: t.Y - vy, W: t.W, H: t.H}, w, h); ok {
+				truth = append(truth, b)
+			}
+		}
+		f := Frame{Image: baked.Image.SubImage(vx, vy, w, h), Truth: truth}
+		if i > 0 {
+			f.PanX, f.PanY = vx-px, vy-py
+		}
+		px, py = vx, vy
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// lightRampSeq dims and brightens a fixed scene frame to frame —
+// a global change that leaves no reusable pixels, pinning the
+// worst-case path.
+func (g *Generator) lightRampSeq(w, h, n int) []Frame {
+	world := g.bakeWorld(w, h, seqPlain)
+	bg := meanOf(world)
+	tracks := g.newTracks(w, h, 2)
+	base := renderTracks(world, tracks, bg)
+	frames := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		gain := 0.6 + 0.4*float64(i)/float64(max(1, n-1))
+		m := base.Image.Clone()
+		for k, v := range m.Pix {
+			m.Pix[k] = v * gain
+		}
+		m.Clamp01()
+		frames = append(frames, Frame{Image: m, Truth: base.Truth})
+	}
+	return frames
+}

@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFrameSequenceCatalog(t *testing.T) {
+	for _, sc := range SequenceScenarios() {
+		frames, err := NewGenerator(3).FrameSequence(sc, 96, 112, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if len(frames) != 4 {
+			t.Fatalf("%s: got %d frames, want 4", sc, len(frames))
+		}
+		for i, f := range frames {
+			if f.Image.W != 96 || f.Image.H != 112 {
+				t.Fatalf("%s frame %d: %dx%d, want 96x112", sc, i, f.Image.W, f.Image.H)
+			}
+			for _, v := range f.Image.Pix {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s frame %d: pixel %v outside [0,1]", sc, i, v)
+				}
+			}
+			if i == 0 && (f.PanX != 0 || f.PanY != 0) {
+				t.Fatalf("%s: first frame carries pan hint (%d,%d)", sc, f.PanX, f.PanY)
+			}
+			for _, b := range f.Truth {
+				if b.X < 0 || b.Y < 0 || b.X+b.W > 96 || b.Y+b.H > 112 || b.W <= 0 || b.H <= 0 {
+					t.Fatalf("%s frame %d: truth box %+v out of bounds", sc, i, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFrameSequenceErrors(t *testing.T) {
+	g := NewGenerator(1)
+	if _, err := g.FrameSequence("no-such-scenario", 96, 96, 3); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := g.FrameSequence("static", 0, 96, 3); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := g.FrameSequence("static", 96, 96, 0); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}
+
+func TestFrameSequenceDeterministic(t *testing.T) {
+	for _, sc := range SequenceScenarios() {
+		a, err := NewGenerator(17).FrameSequence(sc, 96, 96, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewGenerator(17).FrameSequence(sc, 96, 96, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if !reflect.DeepEqual(a[i].Image.Pix, b[i].Image.Pix) {
+				t.Fatalf("%s frame %d: same seed produced different pixels", sc, i)
+			}
+			if !reflect.DeepEqual(a[i].Truth, b[i].Truth) {
+				t.Fatalf("%s frame %d: same seed produced different truth", sc, i)
+			}
+		}
+	}
+}
+
+// TestStaticSequenceBitIdentical pins the property the temporal
+// detector's 0-alloc steady state rides on: every frame of "static"
+// repeats the first bit for bit.
+func TestStaticSequenceBitIdentical(t *testing.T) {
+	frames, err := NewGenerator(5).FrameSequence("static", 128, 128, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(frames); i++ {
+		if !reflect.DeepEqual(frames[i].Image.Pix, frames[0].Image.Pix) {
+			t.Fatalf("static frame %d differs from frame 0", i)
+		}
+		if frames[i].Image == frames[0].Image {
+			t.Fatal("static frames share one Image; mutating one frame would corrupt the rest")
+		}
+	}
+}
+
+// TestWalkerSequenceBackgroundStable checks motion stays confined:
+// pixels outside the union of consecutive truth boxes (grown by the
+// render blur margin) are bit-identical between frames, which is what
+// gives the dirty-region tracker something to skip.
+func TestWalkerSequenceBackgroundStable(t *testing.T) {
+	const w, h, margin = 160, 160, 4
+	frames, err := NewGenerator(23).FrameSequence("walkers", w, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(frames); i++ {
+		prev, cur := frames[i-1], frames[i]
+		changed := func(x, y int) bool {
+			for _, f := range []Frame{prev, cur} {
+				for _, b := range f.Truth {
+					if x >= b.X-margin && x < b.X+b.W+margin &&
+						y >= b.Y-margin && y < b.Y+b.H+margin {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if changed(x, y) {
+					continue
+				}
+				if cur.Image.Pix[y*w+x] != prev.Image.Pix[y*w+x] {
+					t.Fatalf("frame %d: background pixel (%d,%d) changed outside person boxes", i, x, y)
+				}
+			}
+		}
+		if len(cur.Truth) == 0 {
+			t.Fatalf("frame %d: walkers frame has no truth boxes", i)
+		}
+	}
+}
+
+// TestPanSequenceShiftProperty verifies the pan hint convention
+// new[x, y] == prev[x+PanX, y+PanY] holds exactly over the overlap —
+// the precondition the temporal detector's shift fast path verifies
+// per frame before trusting it.
+func TestPanSequenceShiftProperty(t *testing.T) {
+	const w, h = 160, 144
+	frames, err := NewGenerator(29).FrameSequence("pan", w, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(frames); i++ {
+		f := frames[i]
+		if f.PanX != PanStep || f.PanY != 0 {
+			t.Fatalf("frame %d: pan hint (%d,%d), want (%d,0)", i, f.PanX, f.PanY, PanStep)
+		}
+		prev := frames[i-1].Image
+		for y := 0; y < h; y++ {
+			for x := 0; x+f.PanX < w; x++ {
+				if f.Image.Pix[y*w+x] != prev.Pix[y*w+x+f.PanX] {
+					t.Fatalf("frame %d: shift property fails at (%d,%d)", i, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestJitterSequenceHints checks jitter frames carry the frame-delta
+// pan hints and the offsets actually move the viewport.
+func TestJitterSequenceHints(t *testing.T) {
+	frames, err := NewGenerator(31).FrameSequence("jitter", 128, 128, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, changed := false, false
+	for i := 1; i < len(frames); i++ {
+		if frames[i].PanX != 0 || frames[i].PanY != 0 {
+			moved = true
+		}
+		if !reflect.DeepEqual(frames[i].Image.Pix, frames[i-1].Image.Pix) {
+			changed = true
+		}
+	}
+	if !moved {
+		t.Fatal("jitter sequence never reported a pan delta")
+	}
+	if !changed {
+		t.Fatal("jitter sequence frames never changed")
+	}
+}
+
+// TestLightRampChangesEveryPixelRegion confirms the ramp really is the
+// full-recompute stress case: consecutive frames differ broadly.
+func TestLightRampChangesEveryPixelRegion(t *testing.T) {
+	const w, h = 96, 96
+	frames, err := NewGenerator(37).FrameSequence("lightramp", w, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i, v := range frames[1].Image.Pix {
+		if v != frames[0].Image.Pix[i] {
+			diff++
+		}
+	}
+	if diff < w*h/2 {
+		t.Fatalf("lightramp changed only %d of %d pixels between frames", diff, w*h)
+	}
+}

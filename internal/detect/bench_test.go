@@ -114,6 +114,91 @@ func BenchmarkDetectAll(b *testing.B) {
 	}
 }
 
+// seqBenchFrames renders the three temporal workload mixes: fully
+// static, ~5% of pixels in motion (a patch sliding over a static
+// scene, the surveillance steady state), and full-frame motion (a
+// global lighting ramp, the reuse worst case).
+func seqBenchFrames(b *testing.B, mix string) []dataset.Frame {
+	b.Helper()
+	const w, h, n = 320, 240, 12
+	gen := dataset.NewGenerator(12)
+	switch mix {
+	case "static", "fullmotion":
+		scenario := "static"
+		if mix == "fullmotion" {
+			scenario = "lightramp"
+		}
+		frames, err := gen.FrameSequence(scenario, w, h, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return frames
+	case "motion5":
+		base := gen.NegativeImage(w, h)
+		frames := make([]dataset.Frame, n)
+		for i := range frames {
+			img := base.Clone()
+			// Triangle-wave patch position: every frame-to-frame step,
+			// including the benchmark-loop wrap from the last frame back
+			// to the first, moves the patch by the same 12 px, so a
+			// 1-iteration bench-gate run measures a representative frame.
+			tri := i
+			if n-i < tri {
+				tri = n - i
+			}
+			x0, y0 := 40+12*tri, 96
+			for y := y0; y < y0+48; y++ {
+				for x := x0; x < x0+48; x++ {
+					img.Pix[y*w+x] = float64((x+y+i)%7) / 7
+				}
+			}
+			frames[i] = dataset.Frame{Image: img}
+		}
+		return frames
+	}
+	b.Fatalf("unknown mix %q", mix)
+	return nil
+}
+
+// BenchmarkDetectSequence measures temporal frames/s against the
+// per-frame baseline on each workload mix. The acceptance target is
+// sequence >= 2x perframe on motion5; fullmotion bounds the overhead
+// of the diff pass when nothing is reusable. With BENCH_DETECT_OUT
+// set, per-mix detect.seq.<mix>.frames_per_sec gauges reach the
+// snapshot (informational plus auto-gated higher-is-better).
+func BenchmarkDetectSequence(b *testing.B) {
+	det := trainedPipeline(b)
+	det.Config.Workers = 1
+	for _, mix := range []string{"static", "motion5", "fullmotion"} {
+		frames := seqBenchFrames(b, mix)
+		b.Run(mix+"/sequence", func(b *testing.B) {
+			seq := det.NewSequence()
+			for _, f := range frames { // warm caches through one full cycle
+				seq.NextPanned(f.Image, f.PanX, f.PanY)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := frames[i%len(frames)]
+				_ = seq.NextPanned(f.Image, f.PanX, f.PanY)
+			}
+			b.StopTimer()
+			if os.Getenv("BENCH_DETECT_OUT") != "" && b.Elapsed() > 0 {
+				fps := float64(b.N) / b.Elapsed().Seconds()
+				obs.GaugeM("detect.seq." + mix + ".frames_per_sec").Set(fps)
+			}
+		})
+		b.Run(mix+"/perframe", func(b *testing.B) {
+			det.Detect(frames[0].Image) // warm scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = det.Detect(frames[i%len(frames)].Image)
+			}
+		})
+	}
+}
+
 // BenchmarkDetectScanInner isolates the steady-state inner window
 // loop: one full level band scan over a warm grid and scratch. This is
 // the loop the 0 allocs/op acceptance criterion pins (see also

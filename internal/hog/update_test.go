@@ -1,0 +1,283 @@
+package hog
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/imgproc"
+)
+
+// allDescriptors sweeps DescriptorInto over every window position and
+// returns the descriptors in scan order.
+func allDescriptors(t *testing.T, e *Extractor, g *Grid) [][]float64 {
+	t.Helper()
+	wcx, wcy := e.cfg.CellsX(), e.cfg.CellsY()
+	var out [][]float64
+	for gy := 0; gy+wcy <= g.CellsY; gy++ {
+		for gx := 0; gx+wcx <= g.CellsX; gx++ {
+			d, err := e.DescriptorInto(nil, g, gx, gy)
+			if err != nil {
+				t.Fatalf("window (%d,%d): %v", gx, gy, err)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestSpliceRowsCopiesAndInvalidates verifies SpliceRows moves exactly
+// the named cell rows from a sub-image grid and drops the block plane.
+func TestSpliceRowsCopiesAndInvalidates(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := e.cfg.CellSize
+	img := noiseImage(12*cs, 16*cs, 3)
+	var g Grid
+	e.GridInto(&g, img)
+	if !g.BlocksValid() || g.BlockCells() != e.cfg.BlockCells {
+		t.Fatal("GridInto did not prepare the block plane")
+	}
+	want := append([]float64(nil), g.Data...)
+
+	// A full-width sub-image view over cell rows [4, 9) plus one margin
+	// row on each side — the temporal engine's splice geometry.
+	r0, r1 := 4, 9
+	s0, s1 := r0-1, r1+1
+	sub := imgproc.Image{W: img.W, H: (s1-s0)*cs + 1, Pix: img.Pix[s0*cs*img.W : (s1*cs+1)*img.W]}
+	var sg Grid
+	e.GridInto(&sg, &sub)
+
+	// Scribble over the target rows, then splice them back.
+	rowLen := g.CellsX * g.Bins
+	for i := r0 * rowLen; i < r1*rowLen; i++ {
+		g.Data[i] = -1
+	}
+	g.SpliceRows(&sg, r0-s0, r0, r1)
+	if g.BlocksValid() {
+		t.Fatal("SpliceRows left the block plane valid")
+	}
+	if !reflect.DeepEqual(g.Data, want) {
+		t.Fatal("spliced rows differ from the full-image grid")
+	}
+}
+
+// TestSpliceColsCopiesAndInvalidates is the column-strip analogue,
+// using the temporal engine's pan-strip geometry.
+func TestSpliceColsCopiesAndInvalidates(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := e.cfg.CellSize
+	img := noiseImage(14*cs, 12*cs, 4)
+	var g Grid
+	e.GridInto(&g, img)
+	want := append([]float64(nil), g.Data...)
+
+	// Strip covering cell columns [5, 8) with one margin column each
+	// side, full height, plus one interior pixel column on the right.
+	c0, c1 := 5, 8
+	c0m, c1m := c0-1, c1+1
+	px0, px1 := c0m*cs, c1m*cs+1
+	strip := imgproc.New(px1-px0, img.H)
+	for y := 0; y < img.H; y++ {
+		copy(strip.Pix[y*strip.W:(y+1)*strip.W], img.Pix[y*img.W+px0:y*img.W+px1])
+	}
+	var sg Grid
+	e.GridInto(&sg, strip)
+
+	nb := g.Bins
+	for r := 0; r < g.CellsY; r++ {
+		for i := (r*g.CellsX + c0) * nb; i < (r*g.CellsX+c1)*nb; i++ {
+			g.Data[i] = -1
+		}
+	}
+	g.SpliceCols(&sg, c0-c0m, c0, c1)
+	if g.BlocksValid() {
+		t.Fatal("SpliceCols left the block plane valid")
+	}
+	if !reflect.DeepEqual(g.Data, want) {
+		t.Fatal("spliced columns differ from the full-image grid")
+	}
+}
+
+// TestRebuildBlockRangeMatchesFullPrepare mutates arbitrary cell data,
+// rebuilds the full block range in place, and checks every descriptor
+// against a grid rebuilt from scratch through the extractor.
+func TestRebuildBlockRangeMatchesFullPrepare(t *testing.T) {
+	for name, cfg := range gridConfigs() {
+		e, err := NewExtractor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgA := noiseImage(96, 128, 5)
+		imgB := noiseImage(96, 128, 6)
+		var g, ref Grid
+		e.GridInto(&g, imgA)
+		e.GridInto(&ref, imgB)
+
+		// Transplant B's cell data under A's stale plane, then rebuild.
+		copy(g.Data, ref.Data)
+		g.InvalidateBlocks()
+		if !g.RebuildBlockRange(0, 0, g.CellsY, g.CellsX) {
+			t.Fatalf("%s: full RebuildBlockRange refused", name)
+		}
+		got := allDescriptors(t, e, &g)
+		want := allDescriptors(t, e, &ref)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: rebuilt descriptors differ from fresh grid", name)
+		}
+	}
+}
+
+// TestRebuildBlockRangePartial splices a band of rows from a second
+// image and rebuilds only the affected block rows; every window
+// descriptor must match a from-scratch grid over the composite image.
+func TestRebuildBlockRangePartial(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := e.cfg.CellSize
+	w, h := 12*cs, 16*cs
+	imgA := noiseImage(w, h, 7)
+	imgB := noiseImage(w, h, 8)
+
+	// Composite: rows of B inside pixel band [r0*cs, r1*cs), A elsewhere.
+	r0, r1 := 6, 10
+	comp := imgA.Clone()
+	copy(comp.Pix[r0*cs*w:r1*cs*w], imgB.Pix[r0*cs*w:r1*cs*w])
+	var want Grid
+	e.GridInto(&want, comp)
+
+	var g Grid
+	e.GridInto(&g, imgA)
+	// The gradient at the seam reaches one pixel past the band, so the
+	// dirty cell rows are [r0-1, r1+1) — recompute them from a
+	// full-width sub-view with one more margin row each side.
+	d0, d1 := r0-1, r1+1
+	s0, s1 := d0-1, d1+1
+	sub := imgproc.Image{W: w, H: (s1-s0)*cs + 1, Pix: comp.Pix[s0*cs*w : (s1*cs+1)*w]}
+	var sg Grid
+	e.GridInto(&sg, &sub)
+	bc := g.BlockCells()
+	g.SpliceRows(&sg, d0-s0, d0, d1)
+	br0, br1 := d0-bc+1, d1
+	if !g.RebuildBlockRange(br0, 0, br1, g.CellsX) {
+		t.Fatal("partial RebuildBlockRange refused")
+	}
+	if !reflect.DeepEqual(g.Data, want.Data) {
+		t.Fatal("spliced cell data differs from composite grid")
+	}
+	got := allDescriptors(t, e, &g)
+	ref := allDescriptors(t, e, &want)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("partially rebuilt descriptors differ from composite grid")
+	}
+}
+
+// TestRebuildBlockRangeGeometryMismatch checks the safety interlock:
+// a plane built for different grid geometry refuses to rebuild.
+func TestRebuildBlockRangeGeometryMismatch(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Grid
+	e.GridInto(&g, noiseImage(96, 128, 9))
+	g.Reset(g.CellsX+1, g.CellsY, g.Bins) // geometry changed under the plane
+	if g.RebuildBlockRange(0, 0, g.CellsY, g.CellsX) {
+		t.Fatal("RebuildBlockRange accepted a mismatched plane")
+	}
+	if g.BlocksValid() {
+		t.Fatal("mismatched rebuild left the plane valid")
+	}
+}
+
+// TestShiftCellsMatchesShiftedImage pans an image by whole cells and
+// checks ShiftCells reproduces, over the in-bounds interior, both the
+// cell data and the prepared-block descriptors of a grid computed from
+// the shifted image directly.
+func TestShiftCellsMatchesShiftedImage(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := e.cfg.CellSize
+	w, h := 16*cs, 14*cs
+	world := noiseImage(w+4*cs, h+4*cs, 10)
+	for _, sh := range [][2]int{{2, 1}, {-3, 0}, {0, -2}, {-1, 2}} {
+		dxc, dyc := sh[0], sh[1]
+		prev := world.SubImage(2*cs, 2*cs, w, h)
+		next := world.SubImage(2*cs+dxc*cs, 2*cs+dyc*cs, w, h)
+
+		var g, want Grid
+		e.GridInto(&g, prev)
+		e.GridInto(&want, next)
+		if !g.ShiftCells(dxc, dyc) {
+			t.Fatalf("shift (%d,%d): ShiftCells refused a valid plane", dxc, dyc)
+		}
+
+		// Interior cells one cell away from both old and new borders:
+		// there the replicate clamp never fires so the shifted values
+		// must equal the recomputed ones exactly.
+		nb := g.Bins
+		for cy := 1; cy < g.CellsY-1; cy++ {
+			for cx := 1; cx < g.CellsX-1; cx++ {
+				sx, sy := cx+dxc, cy+dyc
+				if sx < 1 || sx >= g.CellsX-1 || sy < 1 || sy >= g.CellsY-1 {
+					continue
+				}
+				a := g.Data[(cy*g.CellsX+cx)*nb : (cy*g.CellsX+cx+1)*nb]
+				b := want.Data[(cy*g.CellsX+cx)*nb : (cy*g.CellsX+cx+1)*nb]
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("shift (%d,%d): cell (%d,%d) differs", dxc, dyc, cx, cy)
+				}
+			}
+		}
+
+		// Deep-interior windows see only interior cells, so their
+		// descriptors must survive the shift bit for bit.
+		wcx, wcy := e.cfg.CellsX(), e.cfg.CellsY()
+		margin := 2
+		for gy := margin; gy+wcy <= g.CellsY-margin; gy += 3 {
+			for gx := margin; gx+wcx <= g.CellsX-margin; gx += 3 {
+				sx, sy := gx+dxc, gy+dyc
+				if sx < margin || sx+wcx > g.CellsX-margin || sy < margin || sy+wcy > g.CellsY-margin {
+					continue
+				}
+				a, err := e.DescriptorInto(nil, &g, gx, gy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := e.DescriptorInto(nil, &want, gx, gy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("shift (%d,%d): window (%d,%d) descriptor differs", dxc, dyc, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+// TestShiftCellsRefusesInvalidPlane confirms the no-plane guard.
+func TestShiftCellsRefusesInvalidPlane(t *testing.T) {
+	e, err := NewExtractor(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Grid
+	e.GridInto(&g, noiseImage(96, 96, 11))
+	g.InvalidateBlocks()
+	before := append([]float64(nil), g.Data...)
+	if g.ShiftCells(1, 1) {
+		t.Fatal("ShiftCells accepted an invalid plane")
+	}
+	if !reflect.DeepEqual(g.Data, before) {
+		t.Fatal("refused ShiftCells still mutated Data")
+	}
+}

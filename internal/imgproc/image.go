@@ -141,26 +141,57 @@ func Resize(m *Image, w, h int) *Image {
 	if m.W == 0 || m.H == 0 || w == 0 || h == 0 {
 		return out
 	}
-	sx := float64(m.W) / float64(w)
-	sy := float64(m.H) / float64(h)
-	for y := 0; y < h; y++ {
+	resizeRows(out, m, 0, h)
+	return out
+}
+
+// ResizeRowsInto recomputes rows [y0, y1) of dst from src, where dst
+// has already been sized to the target dimensions. Each output row of
+// the bilinear filter depends only on src, never on other output rows,
+// so recomputing a subset of rows yields bit-identical pixels to a
+// full Resize — the property the temporal detector's partial pyramid
+// refresh relies on. Rows outside [0, dst.H) are clipped.
+func ResizeRowsInto(dst, src *Image, y0, y1 int) {
+	if src.W == 0 || src.H == 0 || dst.W == 0 || dst.H == 0 {
+		return
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > dst.H {
+		y1 = dst.H
+	}
+	if y0 >= y1 {
+		return
+	}
+	resizeRows(dst, src, y0, y1)
+}
+
+// resizeRows is the bilinear row kernel shared by Resize and
+// ResizeRowsInto: it fills dst rows [y0, y1) by sampling src. Both
+// callers therefore compute every pixel with exactly the same float
+// arithmetic.
+func resizeRows(dst, src *Image, y0, y1 int) {
+	w, h := dst.W, dst.H
+	sx := float64(src.W) / float64(w)
+	sy := float64(src.H) / float64(h)
+	for y := y0; y < y1; y++ {
 		fy := (float64(y)+0.5)*sy - 0.5
-		y0 := int(math.Floor(fy))
-		ty := fy - float64(y0)
+		iy := int(math.Floor(fy))
+		ty := fy - float64(iy)
 		for x := 0; x < w; x++ {
 			fx := (float64(x)+0.5)*sx - 0.5
-			x0 := int(math.Floor(fx))
-			tx := fx - float64(x0)
-			v00 := m.At(x0, y0)
-			v10 := m.At(x0+1, y0)
-			v01 := m.At(x0, y0+1)
-			v11 := m.At(x0+1, y0+1)
+			ix := int(math.Floor(fx))
+			tx := fx - float64(ix)
+			v00 := src.At(ix, iy)
+			v10 := src.At(ix+1, iy)
+			v01 := src.At(ix, iy+1)
+			v11 := src.At(ix+1, iy+1)
 			top := v00 + tx*(v10-v00)
 			bot := v01 + tx*(v11-v01)
-			out.Pix[y*w+x] = top + ty*(bot-top)
+			dst.Pix[y*w+x] = top + ty*(bot-top)
 		}
 	}
-	return out
 }
 
 // Pyramid returns successively downscaled copies of m. Each level is

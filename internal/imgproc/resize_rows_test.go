@@ -1,0 +1,48 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResizeRowsIntoMatchesResize pins the bit-identity contract the
+// temporal detector's partial pyramid refresh depends on: recomputing
+// any subset of output rows writes exactly the pixels a full Resize
+// would, regardless of which rows were refreshed or in what order.
+func TestResizeRowsIntoMatchesResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := New(168, 176)
+	for i := range src.Pix {
+		src.Pix[i] = rng.Float64()
+	}
+	for _, dim := range [][2]int{{153, 160}, {96, 97}, {168, 176}, {31, 200}} {
+		w, h := dim[0], dim[1]
+		want := Resize(src, w, h)
+
+		// Rebuild row band by row band in a scrambled order.
+		got := New(w, h)
+		for i := range got.Pix {
+			got.Pix[i] = -7
+		}
+		for _, band := range [][2]int{{h / 2, h}, {0, h / 4}, {h / 4, h/2 + 3}} {
+			ResizeRowsInto(got, src, band[0], band[1])
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if got.Pix[y*w+x] != want.Pix[y*w+x] {
+					t.Fatalf("%dx%d: pixel (%d,%d) differs after banded refresh", w, h, x, y)
+				}
+			}
+		}
+
+		// Clipping: out-of-range bands are no-ops, not panics.
+		ResizeRowsInto(got, src, -5, 2)
+		ResizeRowsInto(got, src, h-1, h+10)
+		ResizeRowsInto(got, src, 10, 3)
+		for i := range got.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("%dx%d: clipped calls corrupted pixel %d", w, h, i)
+			}
+		}
+	}
+}
